@@ -1,0 +1,161 @@
+// Command gsum is the command-line front end of the reproduction:
+//
+//	gsum classify                 classify the paper's function catalog
+//	gsum classify -f x^2          classify one named catalog function
+//	gsum estimate [flags]         estimate a g-SUM on a generated stream
+//	gsum experiments [-quick]     run the full E1-E12 experiment suite
+//	gsum experiments -run E4      run a single experiment
+//
+// Every run is deterministic given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gfunc"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "classify":
+		runClassify(os.Args[2:])
+	case "estimate":
+		runEstimate(os.Args[2:])
+	case "experiments":
+		runExperiments(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gsum: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  gsum classify [-f name] [-m max]   zero-one-law classification
+  gsum estimate [flags]              estimate g-SUM on a generated stream
+  gsum experiments [-quick] [-run E#] reproduce the paper's experiments
+`)
+}
+
+func catalogByName() map[string]gfunc.Func {
+	m := make(map[string]gfunc.Func)
+	for _, e := range gfunc.Catalog() {
+		m[e.Func.Name()] = e.Func
+	}
+	return m
+}
+
+func runClassify(args []string) {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	name := fs.String("f", "", "classify only the named catalog function")
+	m := fs.Uint64("m", 1<<20, "witness search range [1, m]")
+	fs.Parse(args)
+
+	cfg := gfunc.DefaultCheckConfig()
+	cfg.M = *m
+	if *name != "" {
+		g, ok := catalogByName()[*name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gsum: unknown function %q; available:\n", *name)
+			for _, e := range gfunc.Catalog() {
+				fmt.Fprintf(os.Stderr, "  %s\n", e.Func.Name())
+			}
+			os.Exit(2)
+		}
+		c := gfunc.Classify(g, cfg)
+		fmt.Println(c.String())
+		fmt.Printf("  slow-jumping:   mid=%.3f top=%.3f witness %s\n",
+			c.SlowJumping.MidExponent, c.SlowJumping.TopExponent, c.SlowJumping.Witness)
+		fmt.Printf("  slow-dropping:  mid=%.3f top=%.3f witness %s\n",
+			c.SlowDropping.MidExponent, c.SlowDropping.TopExponent, c.SlowDropping.Witness)
+		fmt.Printf("  predictable:    mid=%.3f top=%.3f witness %s\n",
+			c.Predictable.MidExponent, c.Predictable.TopExponent, c.Predictable.Witness)
+		fmt.Printf("  nearly periodic: mid=%.3f top=%.3f witness %s\n",
+			c.NearlyPeriodic.MidExponent, c.NearlyPeriodic.TopExponent, c.NearlyPeriodic.Witness)
+		return
+	}
+	for _, e := range gfunc.Catalog() {
+		fmt.Println(gfunc.Classify(e.Func, cfg).String())
+	}
+}
+
+func runEstimate(args []string) {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	fname := fs.String("f", "x^2", "catalog function to sum")
+	n := fs.Uint64("n", 1<<12, "domain size")
+	m := fs.Int64("m", 1<<10, "max |frequency|")
+	items := fs.Int("items", 400, "distinct items")
+	alpha := fs.Float64("alpha", 1.1, "zipf exponent")
+	eps := fs.Float64("eps", 0.25, "target accuracy")
+	seed := fs.Uint64("seed", 1, "random seed")
+	passes := fs.Int("passes", 1, "1 or 2 passes")
+	fs.Parse(args)
+
+	g, ok := catalogByName()[*fname]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gsum: unknown function %q\n", *fname)
+		os.Exit(2)
+	}
+	s := stream.Zipf(stream.GenConfig{N: *n, M: *m, Seed: *seed}, *items, *alpha)
+	exact := core.NewExact(g)
+	exact.Process(s)
+	truth := exact.Estimate()
+
+	opts := core.Options{N: *n, M: *m, Eps: *eps, Seed: *seed * 7}
+	var est float64
+	var space int
+	switch *passes {
+	case 1:
+		e := core.NewOnePass(g, opts)
+		e.Process(s)
+		est, space = e.Estimate(), e.SpaceBytes()
+	case 2:
+		e := core.NewTwoPass(g, opts)
+		est = e.Run(s)
+		space = e.SpaceBytes()
+	default:
+		fmt.Fprintln(os.Stderr, "gsum: -passes must be 1 or 2")
+		os.Exit(2)
+	}
+	fmt.Printf("g = %s over zipf(n=%d, M=%d, items=%d, alpha=%.2f)\n",
+		g.Name(), *n, *m, *items, *alpha)
+	fmt.Printf("exact   %.6g  (%d bytes)\n", truth, exact.SpaceBytes())
+	fmt.Printf("%d-pass  %.6g  (%d bytes), relative error %.4f\n",
+		*passes, est, space, util.RelErr(est, truth))
+}
+
+func runExperiments(args []string) {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "shrink workloads for a fast pass")
+	run := fs.String("run", "", "run a single experiment, e.g. E4")
+	fs.Parse(args)
+
+	if *run != "" {
+		id := strings.ToUpper(*run)
+		for _, t := range experiments.All(*quick) {
+			if t.ID == id {
+				t.Render(os.Stdout)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "gsum: unknown experiment %q (E1..E12)\n", *run)
+		os.Exit(2)
+	}
+	for _, t := range experiments.All(*quick) {
+		t.Render(os.Stdout)
+	}
+}

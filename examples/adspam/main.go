@@ -1,0 +1,85 @@
+// Adspam: the Section 1.1.2 utility-aggregate application. An advertising
+// service bills per click, but discounts users whose click counts look
+// like bot traffic — a non-monotonic per-user fee g(clicks). The total
+// bill Σ_users g(clicks_user) is a g-SUM over the click stream, estimated
+// here in one pass with sub-polynomial space.
+//
+//	go run ./examples/adspam
+package main
+
+import (
+	"fmt"
+	"math"
+
+	universal "repro"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+// fee is the per-user billing curve: linear in clicks up to a soft knee,
+// then flattening and slowly discounting toward a floor — suspicious
+// volumes earn a progressively smaller marginal fee, but the discount is
+// only logarithmic so the curve stays slow-dropping (hence tractable,
+// unlike a hard exponential cutoff; see examples/classify).
+func fee(clicks uint64) float64 {
+	x := float64(clicks)
+	return x / (1 + math.Log2(1+x/1000))
+}
+
+func main() {
+	const (
+		nUsers = 1 << 14
+		m      = 1 << 20
+		seed   = 7
+	)
+	g := universal.Normalize("click-fee", fee)
+
+	// Classify first: is this billing curve even sketchable?
+	c := universal.Classify(g, universal.DefaultCheckConfig())
+	fmt.Println(c.String())
+	fmt.Println()
+
+	// Click stream: 3000 regular users (tens to hundreds of clicks), a
+	// handful of power users, and a few bots with huge click counts.
+	rng := util.NewSplitMix64(seed)
+	s := stream.New(nUsers)
+	used := make(map[uint64]struct{})
+	user := func() uint64 {
+		for {
+			u := rng.Uint64n(nUsers)
+			if _, ok := used[u]; !ok {
+				used[u] = struct{}{}
+				return u
+			}
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		s.AddCopies(user(), 10+rng.Int63n(300))
+	}
+	for i := 0; i < 40; i++ {
+		s.AddCopies(user(), 2000+rng.Int63n(8000))
+	}
+	for i := 0; i < 6; i++ {
+		s.AddCopies(user(), 200000+rng.Int63n(400000)) // bots
+	}
+
+	exact := universal.NewExactEstimator(g)
+	exact.Process(s)
+	truth := exact.Estimate()
+
+	est := universal.NewOnePassEstimator(g, universal.Options{
+		N: nUsers, M: m, Eps: 0.2, Seed: seed,
+	})
+	est.Process(s)
+	got := est.Estimate()
+
+	scale := g.Eval(1) // 1.0 by normalization; fee(1)/scale recovers dollars
+	_ = scale
+	fmt.Printf("total fee (exact):    %12.1f fee-units  (space %d B)\n", truth*fee(1), exact.SpaceBytes())
+	fmt.Printf("total fee (sketched): %12.1f fee-units  (space %d B)\n", got*fee(1), est.SpaceBytes())
+	fmt.Printf("relative error: %.4f (target 0.2)\n", util.RelErr(got, truth))
+	fmt.Println()
+	fmt.Println("the discount makes g non-monotonic in marginal terms; the paper's")
+	fmt.Println("characterization says the sum is still 1-pass sketchable because the")
+	fmt.Println("curve is slow-jumping, slow-dropping, and predictable.")
+}

@@ -1,0 +1,130 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+func TestMajorityBoostBeatsChernoff(t *testing.T) {
+	rng := util.NewSplitMix64(5)
+	for _, copies := range []int{11, 33, 99} {
+		observed := MajorityBoost(2.0/3, copies, 4000, rng)
+		bound := ChernoffFailureBound(2.0/3, copies)
+		// The Chernoff expression is an upper bound: observed must not
+		// exceed it by more than Monte Carlo noise.
+		if observed > bound+0.02 {
+			t.Errorf("copies=%d: observed failure %.4f > bound %.4f", copies, observed, bound)
+		}
+	}
+}
+
+func TestMajorityBoostMonotone(t *testing.T) {
+	rng := util.NewSplitMix64(9)
+	prev := 1.0
+	for _, copies := range []int{5, 25, 125} {
+		f := MajorityBoost(2.0/3, copies, 4000, rng)
+		if f > prev+0.02 {
+			t.Errorf("failure rate grew with more copies: %v -> %v", prev, f)
+		}
+		prev = f
+	}
+}
+
+func TestMajorityCopiesTheorem44(t *testing.T) {
+	// ℓ = ceil(96 ln n): at n = 1024, per-element failure must be far
+	// below 1/n² so the union bound over n elements holds.
+	n := 1024
+	copies := MajorityCopies(n)
+	bound := ChernoffFailureBound(2.0/3, copies)
+	if bound > 1/float64(n*n) {
+		t.Errorf("Theorem 44 sizing insufficient: bound %.3g > 1/n² = %.3g",
+			bound, 1/float64(n*n))
+	}
+}
+
+func TestGeneralDistSolverThreeFrequencies(t *testing.T) {
+	// u = (61, 35), d = 1: 1 = 7·35 - 4·61, minimal norm 11, so the
+	// residue radius 5 tolerates realistic bucket collisions. (Short
+	// combinations, e.g. u = (31,12,9) with 31-12-9-9 = 1, put the solver
+	// in the Ω(n/q²) hard regime at any laptop-scale t — that regime is
+	// exercised by E6 and TestDistSolverFailsWhenUndersized.)
+	u := []int64{61, 35}
+	q, ok := MinCombination(u, 1, 40)
+	if !ok {
+		t.Fatal("no combination for (61,35) -> 1")
+	}
+	if NormOf(q) != 11 {
+		t.Fatalf("minimal norm %d, want 11", NormOf(q))
+	}
+	l := int((NormOf(q) - 1) / 2)
+	hits, falsePos := 0, 0
+	const trials = 15
+	for seed := uint64(1); seed <= trials; seed++ {
+		rng := util.NewSplitMix64(seed * 3)
+		yes := stream.New(1 << 12)
+		no := stream.New(1 << 12)
+		used := map[uint64]struct{}{}
+		place := func(s *stream.Stream, v int64) {
+			for {
+				it := rng.Uint64n(1 << 12)
+				if _, okU := used[it]; okU {
+					continue
+				}
+				used[it] = struct{}{}
+				if rng.Bool() {
+					v = -v
+				}
+				s.Add(it, v)
+				return
+			}
+		}
+		for i := 0; i < 30; i++ {
+			for _, v := range u {
+				place(yes, v)
+			}
+		}
+		used = map[uint64]struct{}{}
+		for i := 0; i < 30; i++ {
+			for _, v := range u {
+				place(no, v)
+			}
+		}
+		used = map[uint64]struct{}{} // allow reuse for the plant
+		place(yes, 1)
+
+		mk := func() *GeneralDistSolver {
+			return NewGeneralDistSolver(u, 1, 1024, l, util.NewSplitMix64(seed*7))
+		}
+		sy := mk()
+		yes.Each(func(up stream.Update) { sy.Update(up.Item, up.Delta) })
+		sn := mk()
+		no.Each(func(up stream.Update) { sn.Update(up.Item, up.Delta) })
+		if sy.Detect() {
+			hits++
+		}
+		if sn.Detect() {
+			falsePos++
+		}
+	}
+	if hits < trials*2/3 {
+		t.Errorf("planted d detected in only %d/%d trials", hits, trials)
+	}
+	if falsePos > trials/3 {
+		t.Errorf("false positives in %d/%d trials", falsePos, trials)
+	}
+}
+
+func TestGeneralDistSolverMatchesSpecialCase(t *testing.T) {
+	// For u = (a, b) the general solver's base residues must contain the
+	// (a,b,c) solver's residues at the same radius.
+	a, b := int64(31), int64(12)
+	l := int64(4)
+	gs := NewGeneralDistSolver([]int64{a, b}, 1, 8, int(l), util.NewSplitMix64(1))
+	for _, r := range SortedResidues(a, b, l) {
+		if _, ok := gs.base[r]; !ok {
+			t.Errorf("general base is missing residue %d", r)
+		}
+	}
+}

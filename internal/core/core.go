@@ -1,0 +1,283 @@
+// Package core implements the paper's primary deliverable: sub-polynomial
+// space (1±ε)-approximation of g-SUM = Σ_i g(|v_i|) on turnstile streams.
+//
+// Three estimators are provided:
+//
+//   - OnePass: Algorithm 2 + the recursive sketch (Theorem 2's upper
+//     bound) — works for slow-jumping, slow-dropping, predictable g;
+//   - TwoPass: Algorithm 1 + the recursive sketch (Theorem 3's upper
+//     bound) — drops the predictability requirement by tabulating exact
+//     frequencies in a second pass;
+//   - Exact: the linear-space baseline.
+//
+// Universal provides the function-independent sketch of Section 1.1.1:
+// one pass over the stream, then post-hoc g-SUM queries for any function
+// in a family (used by the approximate-MLE application).
+package core
+
+import (
+	"math"
+
+	"repro/internal/gfunc"
+	"repro/internal/heavy"
+	"repro/internal/recursive"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+// Options configures the estimators. The zero value is not usable; fill in
+// at least N and M. Accuracy defaults: Eps 0.25, Delta 0.2.
+type Options struct {
+	// N is the stream's domain size.
+	N uint64
+	// M bounds |v_i| (the turnstile promise). It determines the envelope
+	// H(M) used to size the sketches.
+	M int64
+	// Eps is the target relative accuracy ε (default 0.25).
+	Eps float64
+	// Delta is the per-estimator failure probability δ (default 0.2).
+	Delta float64
+	// Lambda is the heaviness parameter λ; 0 means the Theorem 13 setting
+	// ε² / log³n (floored at 1/64 to keep test-scale widths finite).
+	Lambda float64
+	// Levels overrides the recursive sketch depth (0 = log2 N).
+	Levels int
+	// WidthFactor scales sketch widths for space/accuracy sweeps (0 = 1).
+	WidthFactor float64
+	// Seed makes every random choice reproducible.
+	Seed uint64
+	// Envelope overrides the measured H(M) (0 = measure from g).
+	Envelope float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = 0.25
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.2
+	}
+	if o.Lambda == 0 {
+		logn := math.Log2(float64(o.N) + 2)
+		o.Lambda = o.Eps * o.Eps / (logn * logn * logn)
+		// Theorem 13's λ is asymptotic; at laptop scales it would drive
+		// widths far past what the accuracy needs, so floor it. Experiments
+		// that sweep λ set it explicitly.
+		if o.Lambda < 1.0/32 {
+			o.Lambda = 1.0 / 32
+		}
+	}
+	if o.WidthFactor == 0 {
+		o.WidthFactor = 1
+	}
+	return o
+}
+
+// envelopeFor resolves the envelope H(M) for g under the options.
+func envelopeFor(g gfunc.Func, o Options) float64 {
+	if o.Envelope > 0 {
+		return o.Envelope
+	}
+	m := uint64(o.M)
+	if m < 4 {
+		m = 4
+	}
+	h := gfunc.MeasureEnvelope(g, m).H()
+	if math.IsInf(h, 0) || math.IsNaN(h) {
+		// No finite sub-polynomial envelope at this scale (e.g. 2^x):
+		// cap it so construction still succeeds; accuracy will be poor,
+		// which is the observable consequence of intractability.
+		h = float64(m)
+	}
+	return h
+}
+
+// OnePassEstimator approximates g-SUM in a single pass.
+type OnePassEstimator struct {
+	g  gfunc.Func
+	sk *recursive.Sketch
+}
+
+// NewOnePass builds the Theorem 2 estimator for g.
+func NewOnePass(g gfunc.Func, opts Options) *OnePassEstimator {
+	o := opts.withDefaults()
+	h := envelopeFor(g, o)
+	rng := util.NewSplitMix64(o.Seed)
+	hhRng := rng.Fork()
+	sk := recursive.New(recursive.Config{
+		N:      o.N,
+		Levels: o.Levels,
+		MakeSketcher: func(level int) heavy.Sketcher {
+			return heavy.NewOnePass(heavy.OnePassConfig{
+				G:           g,
+				Lambda:      o.Lambda,
+				Eps:         o.Eps,
+				Delta:       o.Delta,
+				H:           h,
+				WidthFactor: o.WidthFactor,
+			}, hhRng.Fork())
+		},
+	}, rng.Fork())
+	return &OnePassEstimator{g: g, sk: sk}
+}
+
+// Update feeds one turnstile update.
+func (e *OnePassEstimator) Update(item uint64, delta int64) {
+	e.sk.Update(item, delta)
+}
+
+// Process consumes an entire stream.
+func (e *OnePassEstimator) Process(s *stream.Stream) {
+	s.Each(func(u stream.Update) { e.Update(u.Item, u.Delta) })
+}
+
+// Estimate returns the g-SUM estimate. Call once, after the stream.
+func (e *OnePassEstimator) Estimate() float64 { return e.sk.Estimate() }
+
+// SpaceBytes reports total counter storage.
+func (e *OnePassEstimator) SpaceBytes() int { return e.sk.SpaceBytes() }
+
+// TwoPassEstimator approximates g-SUM with two passes over the stream.
+type TwoPassEstimator struct {
+	g  gfunc.Func
+	sk *recursive.TwoPass
+}
+
+// NewTwoPass builds the Theorem 3 estimator for g.
+func NewTwoPass(g gfunc.Func, opts Options) *TwoPassEstimator {
+	o := opts.withDefaults()
+	h := envelopeFor(g, o)
+	rng := util.NewSplitMix64(o.Seed)
+	hhRng := rng.Fork()
+	sk := recursive.NewTwoPass(recursive.TwoPassConfig{
+		N:      o.N,
+		Levels: o.Levels,
+		MakeSketcher: func(level int) heavy.TwoPassSketcher {
+			return heavy.NewTwoPass(heavy.TwoPassConfig{
+				G:           g,
+				Lambda:      o.Lambda,
+				Delta:       o.Delta,
+				H:           h,
+				WidthFactor: o.WidthFactor,
+			}, hhRng.Fork())
+		},
+	}, rng.Fork())
+	return &TwoPassEstimator{g: g, sk: sk}
+}
+
+// Run executes both passes over a replayable stream and returns the
+// estimate.
+func (e *TwoPassEstimator) Run(s *stream.Stream) float64 {
+	s.Each(func(u stream.Update) { e.sk.Pass1(u.Item, u.Delta) })
+	e.sk.FinishPass1()
+	s.Each(func(u stream.Update) { e.sk.Pass2(u.Item, u.Delta) })
+	return e.sk.Estimate()
+}
+
+// Pass1 feeds the identification pass directly (for callers that manage
+// passes themselves).
+func (e *TwoPassEstimator) Pass1(item uint64, delta int64) { e.sk.Pass1(item, delta) }
+
+// FinishPass1 switches to the tabulation pass.
+func (e *TwoPassEstimator) FinishPass1() { e.sk.FinishPass1() }
+
+// Pass2 feeds the tabulation pass.
+func (e *TwoPassEstimator) Pass2(item uint64, delta int64) { e.sk.Pass2(item, delta) }
+
+// Estimate returns the g-SUM estimate after both passes.
+func (e *TwoPassEstimator) Estimate() float64 { return e.sk.Estimate() }
+
+// SpaceBytes reports total counter storage.
+func (e *TwoPassEstimator) SpaceBytes() int { return e.sk.SpaceBytes() }
+
+// ExactEstimator is the linear-space baseline: it stores the frequency
+// vector and evaluates g-SUM exactly.
+type ExactEstimator struct {
+	g    gfunc.Func
+	freq map[uint64]int64
+}
+
+// NewExact returns the exact baseline for g.
+func NewExact(g gfunc.Func) *ExactEstimator {
+	return &ExactEstimator{g: g, freq: make(map[uint64]int64)}
+}
+
+// Update feeds one turnstile update.
+func (e *ExactEstimator) Update(item uint64, delta int64) {
+	nv := e.freq[item] + delta
+	if nv == 0 {
+		delete(e.freq, item)
+	} else {
+		e.freq[item] = nv
+	}
+}
+
+// Process consumes an entire stream.
+func (e *ExactEstimator) Process(s *stream.Stream) {
+	s.Each(func(u stream.Update) { e.Update(u.Item, u.Delta) })
+}
+
+// Estimate returns the exact g-SUM.
+func (e *ExactEstimator) Estimate() float64 {
+	return heavy.GSumExact(e.g, e.freq)
+}
+
+// SpaceBytes reports the (linear) storage.
+func (e *ExactEstimator) SpaceBytes() int { return len(e.freq) * 16 }
+
+// MedianOnePass runs 2k+1 independent OnePass estimators and returns the
+// median estimate, the standard success-probability amplification from
+// 2/3 to 1 - exp(-Ω(k)).
+type MedianOnePass struct {
+	runs []*OnePassEstimator
+}
+
+// NewMedianOnePass builds copies independent one-pass estimators (copies
+// should be odd; it is incremented if even).
+func NewMedianOnePass(g gfunc.Func, opts Options, copies int) *MedianOnePass {
+	if copies < 1 {
+		copies = 1
+	}
+	if copies%2 == 0 {
+		copies++
+	}
+	o := opts.withDefaults()
+	rng := util.NewSplitMix64(o.Seed)
+	runs := make([]*OnePassEstimator, copies)
+	for i := range runs {
+		oi := o
+		oi.Seed = rng.Next()
+		runs[i] = NewOnePass(g, oi)
+	}
+	return &MedianOnePass{runs: runs}
+}
+
+// Update feeds one turnstile update to every copy.
+func (m *MedianOnePass) Update(item uint64, delta int64) {
+	for _, r := range m.runs {
+		r.Update(item, delta)
+	}
+}
+
+// Process consumes an entire stream.
+func (m *MedianOnePass) Process(s *stream.Stream) {
+	s.Each(func(u stream.Update) { m.Update(u.Item, u.Delta) })
+}
+
+// Estimate returns the median of the copies' estimates.
+func (m *MedianOnePass) Estimate() float64 {
+	ests := make([]float64, len(m.runs))
+	for i, r := range m.runs {
+		ests[i] = r.Estimate()
+	}
+	return util.MedianFloat64(ests)
+}
+
+// SpaceBytes reports the total storage across copies.
+func (m *MedianOnePass) SpaceBytes() int {
+	total := 0
+	for _, r := range m.runs {
+		total += r.SpaceBytes()
+	}
+	return total
+}

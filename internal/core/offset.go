@@ -1,0 +1,73 @@
+package core
+
+import (
+	"repro/internal/gfunc"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+// OffsetEstimator handles the Appendix A case g(0) ≠ 0 (class G0): every
+// coordinate contributes, including the untouched ones. Writing
+// h(x) = g(x)/g(1) for x >= 1 (h(0) = 0) and F0 for the number of nonzero
+// coordinates,
+//
+//	Σ_{i∈[n]} g(|v_i|) = (n − F0)·g(0) + g(1)·Σ_i h(|v_i|),
+//
+// so the estimator runs two class-G one-pass estimators in parallel — one
+// for the restriction h and one for the indicator 1(x>0) whose g-SUM is
+// exactly F0 — and combines them affinely. Both sub-estimators are
+// sub-polynomial, hence so is the whole (matching Appendix A's claim that
+// the same laws and algorithms carry over).
+type OffsetEstimator struct {
+	g     gfunc.G0Func
+	n     uint64
+	scale float64 // g(1)
+	pos   *OnePassEstimator
+	l0    *OnePassEstimator
+}
+
+// NewOffsetEstimator builds the G0 estimator. opts.N is the dimension n
+// that the (n - F0)·g(0) term charges for untouched coordinates.
+func NewOffsetEstimator(g gfunc.G0Func, opts Options) *OffsetEstimator {
+	o := opts.withDefaults()
+	rng := util.NewSplitMix64(o.Seed)
+	oPos := o
+	oPos.Seed = rng.Next()
+	oL0 := o
+	oL0.Seed = rng.Next()
+	return &OffsetEstimator{
+		g:     g,
+		n:     o.N,
+		scale: g.Eval(1),
+		pos:   NewOnePass(g.Restriction(), oPos),
+		l0:    NewOnePass(gfunc.L0(), oL0),
+	}
+}
+
+// Update feeds one turnstile update to both sub-estimators.
+func (e *OffsetEstimator) Update(item uint64, delta int64) {
+	e.pos.Update(item, delta)
+	e.l0.Update(item, delta)
+}
+
+// Process consumes an entire stream.
+func (e *OffsetEstimator) Process(s *stream.Stream) {
+	s.Each(func(u stream.Update) { e.Update(u.Item, u.Delta) })
+}
+
+// Estimate returns the g-SUM over all n coordinates (zeros included).
+func (e *OffsetEstimator) Estimate() float64 {
+	f0 := e.l0.Estimate()
+	if f0 < 0 {
+		f0 = 0
+	}
+	if f0 > float64(e.n) {
+		f0 = float64(e.n)
+	}
+	return (float64(e.n)-f0)*e.g.Eval(0) + e.scale*e.pos.Estimate()
+}
+
+// SpaceBytes reports the combined sketch storage.
+func (e *OffsetEstimator) SpaceBytes() int {
+	return e.pos.SpaceBytes() + e.l0.SpaceBytes()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"repro/internal/gfunc"
+	"repro/internal/heavy"
+	"repro/internal/recursive"
+	"repro/internal/stream"
+	"repro/internal/util"
+	"repro/internal/xhash"
+)
+
+// Universal is the function-independent linear sketch of Section 1.1.1:
+// one pass over the stream builds CountSketch + AMS state at every
+// recursive level, and EstimateFor(g) extracts a g-SUM estimate for any
+// tractable g afterwards. The form of the sketch is independent of g, so
+// a family {g_θ : θ ∈ Θ} can be queried from a single pass — each answer
+// correct with the sketch's probability, amplified by O(log |Θ|)
+// repetition in the MLE application (internal/mle).
+//
+// The sketch must be sized for the worst envelope in the family: pass the
+// max of gfunc.MeasureEnvelope(g_θ, M).H() over θ as Options.Envelope.
+type Universal struct {
+	levels []*heavy.OnePass
+	sub    []*xhash.Bernoulli
+}
+
+// NewUniversal builds a universal g-SUM sketch. Options.Envelope must be
+// set (there is no g to measure it from); zero falls back to 1.
+func NewUniversal(opts Options) *Universal {
+	o := opts.withDefaults()
+	h := o.Envelope
+	if h < 1 {
+		h = 1
+	}
+	levels := o.Levels
+	if levels == 0 {
+		levels = util.Log2Ceil(o.N)
+	}
+	if levels > 30 {
+		levels = 30
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	rng := util.NewSplitMix64(o.Seed)
+	u := &Universal{
+		levels: make([]*heavy.OnePass, levels+1),
+		sub:    make([]*xhash.Bernoulli, levels),
+	}
+	for k := 0; k <= levels; k++ {
+		u.levels[k] = heavy.NewOnePass(heavy.OnePassConfig{
+			// G is only a default for Cover(); EstimateFor supplies the
+			// real query function.
+			G:           gfunc.F2Func(),
+			Lambda:      o.Lambda,
+			Eps:         o.Eps,
+			Delta:       o.Delta,
+			H:           h,
+			WidthFactor: o.WidthFactor,
+		}, rng.Fork())
+	}
+	for k := 0; k < levels; k++ {
+		u.sub[k] = xhash.NewBernoulli(2, 1, 2, rng.Fork())
+	}
+	return u
+}
+
+// Update feeds one turnstile update.
+func (u *Universal) Update(item uint64, delta int64) {
+	u.levels[0].Update(item, delta)
+	for k := 0; k < len(u.sub); k++ {
+		if !u.sub[k].Hash(item) {
+			return
+		}
+		u.levels[k+1].Update(item, delta)
+	}
+}
+
+// Process consumes an entire stream.
+func (u *Universal) Process(s *stream.Stream) {
+	s.Each(func(up stream.Update) { u.Update(up.Item, up.Delta) })
+}
+
+// EstimateFor returns the g-SUM estimate for g from the frozen sketch
+// state. It can be called many times with different functions.
+func (u *Universal) EstimateFor(g gfunc.Func) float64 {
+	covers := make([]heavy.Cover, len(u.levels))
+	for k := range u.levels {
+		covers[k] = u.levels[k].CoverFor(g)
+	}
+	return recursive.CombineCovers(covers, func(level int, item uint64) bool {
+		return u.sub[level].Hash(item)
+	})
+}
+
+// SpaceBytes reports total counter storage.
+func (u *Universal) SpaceBytes() int {
+	total := 0
+	for _, lv := range u.levels {
+		total += lv.SpaceBytes()
+	}
+	return total
+}

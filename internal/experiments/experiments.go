@@ -1,0 +1,128 @@
+// Package experiments implements the paper-reproduction experiment suite
+// E1-E12 indexed in DESIGN.md. Each experiment returns a Table whose rows
+// regenerate the corresponding claim of the paper; the cmd/gsum binary and
+// the root bench harness both render these tables, and EXPERIMENTS.md
+// records a reference run.
+//
+// The paper is a theory paper with no measured tables, so the experiments
+// materialize its claims: the zero-one-law classifications (E1, E12), the
+// upper bounds as accuracy-vs-space curves (E2, E7, E9, E10), the
+// 1-pass/2-pass separation (E3, E11), and the lower bounds as executable
+// reductions whose undersized solvers demonstrably fail (E4, E5, E6).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form note line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, " ", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, "  note:", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtPct renders a ratio as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// yesNo renders a boolean verdict.
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// mark renders agreement with the paper.
+func mark(b bool) string {
+	if b {
+		return "OK"
+	}
+	return "MISMATCH"
+}
+
+// All runs every experiment with default settings and returns the tables
+// in order. Heavier experiments accept a quick flag to shrink workloads.
+func All(quick bool) []Table {
+	return []Table{
+		E1Classification(),
+		E2OnePassTractable(quick),
+		E3TwoPassSeparation(quick),
+		E4IndexReduction(quick),
+		E5DisjIndReduction(quick),
+		E6ShortLinearCombination(quick),
+		E7NearlyPeriodic(quick),
+		E8ApproxMLE(quick),
+		E9SketchGuarantees(quick),
+		E10HeavyHitterRecall(quick),
+		E11HigherOrder(quick),
+		E12LEtaTransform(),
+		E13DiscreteCounting(quick),
+		E14MetricInstability(),
+		E15MajorityAmplification(quick),
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+// The experiment tables are the reproduction's primary artifact, so they
+// get their own assertions: each must render, carry the expected shape,
+// and — where the table embeds a pass/fail comparison against the paper —
+// report agreement.
+
+func TestE1AllVerdictsMatchPaper(t *testing.T) {
+	tab := E1Classification()
+	if len(tab.Rows) < 16 {
+		t.Fatalf("E1 has %d rows, want the full catalog (16)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "OK" {
+			t.Errorf("E1 row %q disagrees with the paper", row[0])
+		}
+	}
+}
+
+func TestE2ErrorDecreasesWithWidth(t *testing.T) {
+	tab := E2OnePassTractable(true)
+	// Rows come in (function, width...) groups of 2 in quick mode; the
+	// wider setting must not have larger mean error by more than noise.
+	if len(tab.Rows)%2 != 0 {
+		t.Fatalf("unexpected row count %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		narrow, wide := parseF(t, tab.Rows[i][3]), parseF(t, tab.Rows[i+1][3])
+		if wide > narrow+0.05 {
+			t.Errorf("%s: error grew with width: %.4g -> %.4g",
+				tab.Rows[i][0], narrow, wide)
+		}
+		if wide > 0.25 {
+			t.Errorf("%s: wide error %.4g above ε", tab.Rows[i][0], wide)
+		}
+	}
+}
+
+func TestE3SeparationShape(t *testing.T) {
+	tab := E3TwoPassSeparation(true)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("E3 rows = %d, want 4", len(tab.Rows))
+	}
+	// rows: sinsqrt 1-pass, sinsqrt 2-pass, sinlog 1-pass, sinlog 2-pass
+	unpre1 := parseF(t, tab.Rows[0][3]) // worst err, unpredictable 1-pass
+	unpre2 := parseF(t, tab.Rows[1][3])
+	ctrl1 := parseF(t, tab.Rows[2][3])
+	if unpre1 < 3*unpre2 {
+		t.Errorf("no 1-pass/2-pass separation on unpredictable g: %.4g vs %.4g", unpre1, unpre2)
+	}
+	if ctrl1 > 0.25 {
+		t.Errorf("predictable control should not fail 1-pass: worst err %.4g", ctrl1)
+	}
+}
+
+func TestE4CollapseShape(t *testing.T) {
+	tab := E4IndexReduction(true)
+	first := parsePct(t, tab.Rows[0][2])
+	last := parsePct(t, tab.Rows[len(tab.Rows)-1][2])
+	if last >= first {
+		t.Errorf("sketch accuracy did not collapse: %.2f -> %.2f", first, last)
+	}
+	for _, row := range tab.Rows {
+		if acc := parsePct(t, row[4]); acc != 1 {
+			t.Errorf("exact accuracy %v at y=%s, want 100%%", acc, row[0])
+		}
+	}
+}
+
+func TestE5ExactAlwaysWins(t *testing.T) {
+	tab := E5DisjIndReduction(true)
+	for _, row := range tab.Rows {
+		if acc := parsePct(t, row[6]); acc != 1 {
+			t.Errorf("exact accuracy %v at y=%s, want 100%%", acc, row[0])
+		}
+	}
+	first := parsePct(t, tab.Rows[0][5])
+	last := parsePct(t, tab.Rows[len(tab.Rows)-1][5])
+	if last >= first {
+		t.Errorf("sketch accuracy did not decay with y: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestE7RecallAndSpace(t *testing.T) {
+	tab := E7NearlyPeriodic(true)
+	for _, row := range tab.Rows {
+		if rec := parsePct(t, row[1]); rec < 0.8 {
+			t.Errorf("g_np recall %.2f at n=%s", rec, row[0])
+		}
+	}
+	// Space must grow far slower than the linear column.
+	firstSpace := parseF(t, tab.Rows[0][3])
+	lastSpace := parseF(t, tab.Rows[len(tab.Rows)-1][3])
+	firstLin := parseF(t, tab.Rows[0][4])
+	lastLin := parseF(t, tab.Rows[len(tab.Rows)-1][4])
+	if (lastSpace / firstSpace) > 0.2*(lastLin/firstLin) {
+		t.Errorf("g_np space growth %.2fx not clearly sublinear vs linear growth %.2fx",
+			lastSpace/firstSpace, lastLin/firstLin)
+	}
+}
+
+func TestE12AllMatch(t *testing.T) {
+	tab := E12LEtaTransform()
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "OK" {
+			t.Errorf("E12 row %q disagrees with the paper", row[0])
+		}
+	}
+}
+
+func TestE14PerturbationFlipsGnp(t *testing.T) {
+	tab := E14MetricInstability()
+	flips := 0
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "g_np") && row[4] == "intractable" {
+			flips++
+		}
+	}
+	if flips != 3 {
+		t.Errorf("expected all 3 g_np perturbations to flip to intractable, got %d", flips)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{ID: "T", Title: "title", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T: title ==", "a  bb", "1  2", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	return parseF(t, strings.TrimSuffix(s, "%")) / 100
+}

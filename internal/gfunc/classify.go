@@ -1,0 +1,206 @@
+package gfunc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tractability is the zero-one-law verdict for a function at a given
+// number of passes.
+type Tractability int
+
+const (
+	// Intractable: the function fails the law's conditions, so no
+	// sub-polynomial-space algorithm exists (Theorems 22 and 26).
+	Intractable Tractability = iota
+	// Tractable: the function satisfies the law's conditions, so the
+	// paper's algorithm solves g-SUM in sub-polynomial space.
+	Tractable
+	// OpenNearlyPeriodic: the function is nearly periodic, the narrow class
+	// the zero-one laws do not cover; tractability must be settled case by
+	// case (g_np is tractable via a dedicated algorithm, others are open).
+	OpenNearlyPeriodic
+)
+
+// String renders the verdict.
+func (t Tractability) String() string {
+	switch t {
+	case Tractable:
+		return "tractable"
+	case Intractable:
+		return "intractable"
+	case OpenNearlyPeriodic:
+		return "nearly-periodic (law does not apply)"
+	default:
+		return fmt.Sprintf("Tractability(%d)", int(t))
+	}
+}
+
+// Classification is the full output of the zero-one-law classifier for one
+// function: the three property reports, the near-periodicity report, and
+// the 1-pass / 2-pass verdicts of Theorems 2 and 3.
+type Classification struct {
+	Name string
+
+	SlowJumping    Report
+	SlowDropping   Report
+	Predictable    Report
+	NearlyPeriodic Report
+
+	// OnePass: Theorem 2 — tractable iff slow-jumping ∧ slow-dropping ∧
+	// predictable (for normal functions).
+	OnePass Tractability
+	// TwoPass: Theorem 3 — tractable iff slow-jumping ∧ slow-dropping
+	// (for normal functions; predictability is not needed with 2 passes).
+	TwoPass Tractability
+}
+
+// Classify runs all property checkers on g and applies Theorems 2 and 3.
+func Classify(g Func, cfg CheckConfig) Classification {
+	c := Classification{Name: g.Name()}
+	c.SlowJumping = CheckSlowJumping(g, cfg)
+	c.SlowDropping = CheckSlowDropping(g, cfg)
+	c.Predictable = CheckPredictable(g, cfg)
+	c.NearlyPeriodic = CheckNearlyPeriodic(g, cfg)
+
+	if c.NearlyPeriodic.Holds {
+		c.OnePass = OpenNearlyPeriodic
+		c.TwoPass = OpenNearlyPeriodic
+		return c
+	}
+	if c.SlowJumping.Holds && c.SlowDropping.Holds {
+		c.TwoPass = Tractable
+		if c.Predictable.Holds {
+			c.OnePass = Tractable
+		} else {
+			c.OnePass = Intractable
+		}
+	} else {
+		c.OnePass = Intractable
+		c.TwoPass = Intractable
+	}
+	return c
+}
+
+// String renders the classification as a one-line summary.
+func (c Classification) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s", c.Name)
+	mark := func(r Report) string {
+		if r.Holds {
+			return "yes"
+		}
+		return "NO "
+	}
+	fmt.Fprintf(&b, " jump=%s drop=%s pred=%s np=%s  1-pass: %-12s 2-pass: %s",
+		mark(c.SlowJumping), mark(c.SlowDropping), mark(c.Predictable),
+		mark(c.NearlyPeriodic), c.OnePass, c.TwoPass)
+	return b.String()
+}
+
+// CatalogEntry pairs a function with the paper's stated expectations, used
+// by the E1 experiment and its tests.
+type CatalogEntry struct {
+	Func Func
+	// Where the paper states or implies the verdicts.
+	PaperRef string
+	// Expected property verdicts per the paper's prose.
+	WantJump, WantDrop, WantPred, WantNP bool
+	// Expected tractability.
+	WantOnePass, WantTwoPass Tractability
+}
+
+// Catalog returns every worked example the paper names, with the paper's
+// stated verdicts. This is the ground truth of experiment E1.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{
+			Func: F2Func(), PaperRef: "§3 (x² predictable example); AMS",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: F1Func(), PaperRef: "monotone, [6]",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: Power(1.5), PaperRef: "frequency moments k<2, Indyk-Woodruff",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: Power(0.5), PaperRef: "frequency moments k<2",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: L0(), PaperRef: "monotone bounded",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: X3(), PaperRef: "§4.6: x³ is not slow-jumping",
+			WantJump: false, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Intractable, WantTwoPass: Intractable,
+		},
+		{
+			// 2^x also fails predictability: for y < x^{1-γ}, g(y) is
+			// exponentially smaller than x^{-γ}g(x) while g(x+y) ≫ g(x).
+			Func: Exp2(), PaperRef: "Definition 6: 2^x not slow-jumping",
+			WantJump: false, WantDrop: true, WantPred: false, WantNP: false,
+			WantOnePass: Intractable, WantTwoPass: Intractable,
+		},
+		{
+			Func: Reciprocal(), PaperRef: "§4.6: 1/x is not slow-dropping",
+			WantJump: true, WantDrop: false, WantPred: true, WantNP: false,
+			WantOnePass: Intractable, WantTwoPass: Intractable,
+		},
+		{
+			Func: InverseLog(), PaperRef: "Definition 7: (lg(1+x))^{-1} slow-dropping; [5]",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: SinX2(), PaperRef: "Definitions 6-8: (2+sin x)x² not predictable",
+			WantJump: true, WantDrop: true, WantPred: false, WantNP: false,
+			WantOnePass: Intractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: SinSqrtX2(), PaperRef: "§4.6: (2+sin√x)x² 2-pass only",
+			WantJump: true, WantDrop: true, WantPred: false, WantNP: false,
+			WantOnePass: Intractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: SinLogX2(), PaperRef: "§4.6: (2+sin log(1+x))x² 1-pass tractable",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: X2Log(), PaperRef: "§4.6: x² lg(1+x) 1-pass tractable",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: X2SqrtLogExtra(), PaperRef: "Definition 6: x²2^√lg x slow-jumping",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			Func: ExpSqrtLog(), PaperRef: "§4.6: e^{log^{1/2}(1+x)} 1-pass tractable",
+			WantJump: true, WantDrop: true, WantPred: true, WantNP: false,
+			WantOnePass: Tractable, WantTwoPass: Tractable,
+		},
+		{
+			// g_np fails slow-dropping by construction (g(2^k) = 2^{-k});
+			// it also fails slow-jumping, since g(2^k + 1) = 1 jumps back
+			// from g(2^k) = 2^{-k} with ⌊y/x⌋ = 1. It satisfies the
+			// predictability inequality vacuously. The law does not apply:
+			// it is nearly periodic, and Appendix D.1 gives a dedicated
+			// 1-pass algorithm.
+			Func: Gnp(), PaperRef: "Definition 52 / Appendix D.1: nearly periodic",
+			WantJump: false, WantDrop: false, WantPred: true, WantNP: true,
+			WantOnePass: OpenNearlyPeriodic, WantTwoPass: OpenNearlyPeriodic,
+		},
+	}
+}

@@ -1,0 +1,55 @@
+package gfunc
+
+import "testing"
+
+// TestCatalogClassification is experiment E1's ground truth: every worked
+// example the paper names must classify exactly as the paper states.
+func TestCatalogClassification(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	for _, entry := range Catalog() {
+		entry := entry
+		t.Run(entry.Func.Name(), func(t *testing.T) {
+			c := Classify(entry.Func, cfg)
+			if c.SlowJumping.Holds != entry.WantJump {
+				t.Errorf("slow-jumping = %v, want %v (mid=%.3f top=%.3f, witness %s)",
+					c.SlowJumping.Holds, entry.WantJump,
+					c.SlowJumping.MidExponent, c.SlowJumping.TopExponent,
+					c.SlowJumping.Witness)
+			}
+			if c.SlowDropping.Holds != entry.WantDrop {
+				t.Errorf("slow-dropping = %v, want %v (mid=%.3f top=%.3f, witness %s)",
+					c.SlowDropping.Holds, entry.WantDrop,
+					c.SlowDropping.MidExponent, c.SlowDropping.TopExponent,
+					c.SlowDropping.Witness)
+			}
+			if c.Predictable.Holds != entry.WantPred {
+				t.Errorf("predictable = %v, want %v (mid=%.3f top=%.3f, witness %s)",
+					c.Predictable.Holds, entry.WantPred,
+					c.Predictable.MidExponent, c.Predictable.TopExponent,
+					c.Predictable.Witness)
+			}
+			if c.NearlyPeriodic.Holds != entry.WantNP {
+				t.Errorf("nearly-periodic = %v, want %v (mid=%.3f top=%.3f, witness %s)",
+					c.NearlyPeriodic.Holds, entry.WantNP,
+					c.NearlyPeriodic.MidExponent, c.NearlyPeriodic.TopExponent,
+					c.NearlyPeriodic.Witness)
+			}
+			if c.OnePass != entry.WantOnePass {
+				t.Errorf("1-pass verdict = %v, want %v", c.OnePass, entry.WantOnePass)
+			}
+			if c.TwoPass != entry.WantTwoPass {
+				t.Errorf("2-pass verdict = %v, want %v", c.TwoPass, entry.WantTwoPass)
+			}
+		})
+	}
+}
+
+// TestCatalogValidates checks the class-G constraints on every catalog
+// function.
+func TestCatalogValidates(t *testing.T) {
+	for _, entry := range Catalog() {
+		if err := Validate(entry.Func, 1<<16); err != nil {
+			t.Errorf("%s: %v", entry.Func.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package gfunc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeSignsPositive(t *testing.T) {
+	r := AnalyzeSigns(func(x uint64) float64 { return 1 + float64(x)*float64(x) }, 1<<10)
+	if r.Verdict != SignPositive {
+		t.Errorf("verdict %v, want positive", r.Verdict)
+	}
+}
+
+func TestAnalyzeSignsCrossing(t *testing.T) {
+	// g(x) = cos(x)+0.5 scaled so g(0)=1: crosses zero and goes negative.
+	r := AnalyzeSigns(func(x uint64) float64 {
+		return (math.Cos(float64(x)) + 0.5) / 1.5
+	}, 1<<10)
+	if r.Verdict != SignCrossing {
+		t.Errorf("verdict %v, want crossing (Lemma 34/Prop 36)", r.Verdict)
+	}
+	if r.NegativeAt == 0 {
+		t.Error("expected a negativity witness")
+	}
+}
+
+func TestAnalyzeSignsZeroPeriodic(t *testing.T) {
+	// g(x) = (1 + cos(πx))/2 on integers: 1, 0, 1, 0, ... period 2 with a
+	// zero at x=1. Prop 38's tractable special case.
+	r := AnalyzeSigns(func(x uint64) float64 {
+		if x%2 == 1 {
+			return 0
+		}
+		return 1
+	}, 1<<10)
+	if r.Verdict != SignZeroPeriodic {
+		t.Fatalf("verdict %v, want zero+periodic", r.Verdict)
+	}
+	if r.Period != 2 {
+		t.Errorf("period %d, want 2", r.Period)
+	}
+}
+
+func TestAnalyzeSignsZeroAperiodic(t *testing.T) {
+	// Zero at x=5 but no periodic structure: intractable per Prop 37/38.
+	r := AnalyzeSigns(func(x uint64) float64 {
+		if x == 5 {
+			return 0
+		}
+		return 1 + float64(x)
+	}, 1<<10)
+	if r.Verdict != SignZeroAperiodic {
+		t.Errorf("verdict %v, want zero+aperiodic", r.Verdict)
+	}
+	if r.ZeroAt != 5 {
+		t.Errorf("zero witness %d, want 5", r.ZeroAt)
+	}
+}
+
+func TestClassifyG0PositiveTractable(t *testing.T) {
+	// g(x) = 1 + x²: positive, restriction ~ x² tractable.
+	g := NormalizeG0("1+x^2", func(x uint64) float64 {
+		return 1 + float64(x)*float64(x)
+	})
+	cfg := DefaultCheckConfig()
+	c := ClassifyG0(g, cfg)
+	if c.Sign.Verdict != SignPositive {
+		t.Fatalf("sign verdict %v", c.Sign.Verdict)
+	}
+	if c.OnePass != Tractable || c.TwoPass != Tractable {
+		t.Errorf("1+x² should be tractable in G0; got 1-pass %v, 2-pass %v",
+			c.OnePass, c.TwoPass)
+	}
+}
+
+func TestClassifyG0CrossingIntractable(t *testing.T) {
+	g := G0Func{name: "cosine-mix", eval: func(x uint64) float64 {
+		return (math.Cos(float64(x)/3) + 0.5) / 1.5
+	}}
+	c := ClassifyG0(g, DefaultCheckConfig())
+	if c.OnePass != Intractable {
+		t.Errorf("sign-crossing function should be intractable, got %v", c.OnePass)
+	}
+}
+
+func TestClassifyG0PolynomialDecayIntractable(t *testing.T) {
+	// g(x) = 1/(1+x): positive with g(0)=1 but the restriction decays
+	// polynomially — Theorem 39 (not slow-dropping ⇒ not tractable).
+	g := NormalizeG0("1/(1+x)", func(x uint64) float64 {
+		return 1 / (1 + float64(x))
+	})
+	c := ClassifyG0(g, DefaultCheckConfig())
+	if c.OnePass != Intractable {
+		t.Errorf("1/(1+x) should be 1-pass intractable in G0, got %v", c.OnePass)
+	}
+}
+
+func TestG0NearlyPeriodicVariant(t *testing.T) {
+	// The G0 lift of g_np: g(0) = 1 and g(x) = g_np(x) for x > 0 — by the
+	// x-2y variant it should still register as nearly periodic
+	// (ι(2y - x) = ι(x) for y = 2^k > x, exactly as ι(x + y) = ι(x)).
+	gnp := Gnp()
+	g := G0Func{name: "g_np+1at0", eval: func(x uint64) float64 {
+		if x == 0 {
+			return 1
+		}
+		return gnp.Eval(x)
+	}}
+	c := ClassifyG0(g, DefaultCheckConfig())
+	if c.OnePass != OpenNearlyPeriodic {
+		t.Errorf("G0 g_np variant should be nearly periodic, got %v (np report: mid=%.3f top=%.3f)",
+			c.OnePass, c.NearlyPeriodicG0.MidExponent, c.NearlyPeriodicG0.TopExponent)
+	}
+}
+
+func TestRestrictionIsClassG(t *testing.T) {
+	g := NormalizeG0("1+x", func(x uint64) float64 { return 1 + float64(x) })
+	if err := Validate(g.Restriction(), 1<<12); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package gfunc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThetaBasics(t *testing.T) {
+	g := F2Func()
+	if d := Theta(g, g, 1<<12); d != 0 {
+		t.Errorf("Θ(g,g) = %v, want 0", d)
+	}
+	// h = 2g off by a constant factor 2 everywhere except the pinned
+	// points... use an overlay at a single point instead.
+	h := NewOverlay("bump", g, map[uint64]float64{100: g.Eval(100) * math.E})
+	if d := Theta(g, h, 1<<12); math.Abs(d-1) > 1e-9 {
+		t.Errorf("Θ = %v, want 1 (one point moved by factor e)", d)
+	}
+}
+
+func TestThetaSymmetric(t *testing.T) {
+	g, h := F2Func(), X2Log()
+	a, b := Theta(g, h, 1<<12), Theta(h, g, 1<<12)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("Θ not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestThetaTriangle(t *testing.T) {
+	g, h, k := F2Func(), X2Log(), SinLogX2()
+	if Theta(g, k, 1<<10) > Theta(g, h, 1<<10)+Theta(h, k, 1<<10)+1e-9 {
+		t.Error("triangle inequality violated")
+	}
+}
+
+// TestProposition63Stability: if g is slow-jumping and slow-dropping, any
+// h at finite Θ-distance is too. Perturb x² multiplicatively by a bounded
+// factor at every grid point and re-classify.
+func TestProposition63Stability(t *testing.T) {
+	g := F2Func()
+	// h = g * (1 + 0.3 sin x): bounded multiplicative perturbation,
+	// Θ(g,h) <= log(1.3).
+	h := New("x^2*(1+0.3sin)", func(x uint64) float64 {
+		if x == 0 {
+			return 0
+		}
+		fx := float64(x)
+		return fx * fx * (1 + 0.3*math.Sin(fx)) / 1.2523209514083338 // /(1+0.3 sin 1)
+	})
+	cfg := DefaultCheckConfig()
+	c := Classify(h, cfg)
+	if !c.SlowJumping.Holds || !c.SlowDropping.Holds {
+		t.Errorf("Θ-bounded perturbation of x² lost slow-jumping/dropping: %+v", c)
+	}
+	if Theta(g, h, cfg.M) > math.Log(1.3/0.7)+0.5 {
+		t.Errorf("Θ larger than the construction allows: %v", Theta(g, h, cfg.M))
+	}
+}
+
+// TestTheorem64Instability: perturbing the nearly periodic g_np within
+// δ = 0.5 yields a function that is neither slow-dropping nor nearly
+// periodic — 1-pass intractable by Lemma 23.
+func TestTheorem64Instability(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	g := Gnp()
+	h := PerturbNearlyPeriodic(g, 0.5, cfg)
+
+	if d := Theta(g, h, cfg.M); d > math.Log(1.5)+1e-9 {
+		t.Fatalf("Θ(g,h) = %v exceeds log(1+δ) = %v", d, math.Log(1.5))
+	}
+	c := Classify(h, cfg)
+	if c.SlowDropping.Holds {
+		t.Error("perturbed g_np should not be slow-dropping")
+	}
+	if c.NearlyPeriodic.Holds {
+		t.Error("perturbed g_np should no longer be nearly periodic")
+	}
+	if c.OnePass != Intractable {
+		t.Errorf("perturbed g_np should be 1-pass intractable, got %v", c.OnePass)
+	}
+}
+
+// TestTheorem64NoOpOnNormal: the perturbation leaves slow-dropping
+// functions untouched.
+func TestTheorem64NoOpOnNormal(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	g := F2Func()
+	h := PerturbNearlyPeriodic(g, 0.5, cfg)
+	if d := Theta(g, h, cfg.M); d != 0 {
+		t.Errorf("perturbation of a slow-dropping function moved it: Θ = %v", d)
+	}
+}
+
+func TestOverlayPanics(t *testing.T) {
+	g := F2Func()
+	for _, bad := range []struct {
+		x uint64
+		v float64
+	}{{0, 1}, {1, 2}, {5, 0}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for override (%d -> %v)", bad.x, bad.v)
+				}
+			}()
+			NewOverlay("bad", g, map[uint64]float64{bad.x: bad.v})
+		}()
+	}
+}

@@ -1,0 +1,106 @@
+package gfunc
+
+import "math"
+
+// CheckNearlyPeriodic tests Definition 9. A function g is S-nearly periodic
+// iff
+//
+//  1. it is not slow-dropping: some α > 0 admits arbitrarily large
+//     "α-periods" y with g(y) <= g(x)/y^α for some x < y; and
+//  2. at every large α-period y, for every x < y with g(x) >= y^α g(y),
+//     the function nearly repeats: |g(x+y) - g(x)| <=
+//     min(g(x), g(x+y)) · h(y) for every sub-polynomial error h, i.e. the
+//     relative change at offset y tends to zero.
+//
+// The checker reuses the slow-dropping violation structure to locate
+// periods, then measures the worst relative change R(y) over admissible x
+// at each period, applying the same two-scale trend test: nearly periodic
+// iff the drop persists but R decays.
+func CheckNearlyPeriodic(g Func, cfg CheckConfig) Report {
+	drop := CheckSlowDropping(g, cfg)
+	if drop.Holds {
+		// Slow-dropping functions cannot satisfy condition 1.
+		return Report{Holds: false, Witness: drop.Witness}
+	}
+	// α0: half the persistent drop exponent, the α whose periods we chase.
+	alpha0 := drop.TopExponent / 2
+	if alpha0 <= 0 {
+		return Report{Holds: false}
+	}
+
+	grid := Grid(cfg.M, cfg.Dense)
+	midLo, midHi, topLo, topHi := cfg.windows()
+
+	var (
+		prefixMaxLog = math.Inf(-1)
+		mid, top     float64
+		midSeen      bool
+		topSeen      bool
+		wit          *Witness
+	)
+	for _, y := range grid {
+		ly := LogEval(g, y)
+		isPeriod := y > 1 && prefixMaxLog-ly >= alpha0*math.Log(float64(y))
+		if ly > prefixMaxLog {
+			prefixMaxLog = ly
+		}
+		if !isPeriod {
+			continue
+		}
+		inMid := y >= midLo && y <= midHi
+		inTop := y >= topLo && y <= topHi
+		if !inMid && !inTop {
+			continue
+		}
+		gy := g.Eval(y)
+		bound := gy * math.Pow(float64(y), alpha0)
+		r := 0.0
+		var rx uint64
+		for _, x := range grid {
+			if x >= y {
+				break
+			}
+			gx := g.Eval(x)
+			if gx < bound {
+				continue // condition 2 only constrains x with g(x) >= y^α g(y)
+			}
+			gxy := g.Eval(x + y)
+			den := math.Min(gx, gxy)
+			if den <= 0 {
+				r = math.Inf(1)
+				rx = x
+				break
+			}
+			if c := math.Abs(gxy-gx) / den; c > r {
+				r = c
+				rx = x
+			}
+		}
+		if inMid {
+			midSeen = true
+			if r > mid {
+				mid = r
+			}
+		}
+		if inTop {
+			topSeen = true
+			if r > top {
+				top = r
+				wit = &Witness{X: rx, Y: y, GX: g.Eval(rx), GY: gy, Exponent: r}
+			}
+		}
+	}
+	if !midSeen || !topSeen {
+		// Drops exist but no periods land in the windows: treat as normal;
+		// the grid covers every scale, so genuinely nearly periodic
+		// functions (whose periods are unboundedly frequent) always land.
+		return Report{Holds: false, MidExponent: mid, TopExponent: top, Witness: wit}
+	}
+	// Nearly periodic iff the near-repetition error decays (or vanishes).
+	nearRepeats := top <= 1e-9 || top < cfg.DecayFactor*mid
+	return Report{
+		Holds:       nearRepeats,
+		MidExponent: mid, TopExponent: top,
+		Witness: wit,
+	}
+}

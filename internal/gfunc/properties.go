@@ -1,0 +1,261 @@
+package gfunc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Witness records the pair (x, y) that realized a property checker's
+// extremal violation exponent, together with the function values involved.
+type Witness struct {
+	X, Y     uint64
+	GX, GY   float64
+	Exponent float64 // violation exponent at this witness (see each checker)
+}
+
+func (w *Witness) String() string {
+	if w == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("x=%d (g=%.4g), y=%d (g=%.4g), exponent=%.3f",
+		w.X, w.GX, w.Y, w.GY, w.Exponent)
+}
+
+// Report is the outcome of a property check: whether the asymptotic
+// property is judged to hold, the violation exponents measured at the two
+// scales of the trend test, and the extremal witness at the top scale.
+type Report struct {
+	Holds bool
+	// MidExponent and TopExponent are the maximal violation exponents over
+	// the mid-scale window [M^0.35, M^0.6] and top-scale window [M^0.7, M].
+	// A property fails when the top exponent neither decays relative to the
+	// mid exponent nor is negligible in absolute terms.
+	MidExponent, TopExponent float64
+	Witness                  *Witness
+}
+
+// CheckConfig tunes the witness search. The zero value is not usable; use
+// DefaultCheckConfig.
+type CheckConfig struct {
+	// M is the top of the search range [1, M].
+	M uint64
+	// Dense is the prefix of [1, M] checked exhaustively.
+	Dense uint64
+	// DecayFactor: the property holds if TopExponent < DecayFactor *
+	// MidExponent (the exponent is shrinking with scale, i.e. the
+	// violation is sub-polynomial) ...
+	DecayFactor float64
+	// ... or if TopExponent < AbsoluteFloor (no violation to speak of).
+	AbsoluteFloor float64
+	// Gamma is the predictability exponent γ tested (Definition 8).
+	Gamma float64
+	// Eps is the sub-polynomial accuracy function ε(x) used by the
+	// predictability and near-periodicity checks; nil means 1/ln(2+x).
+	Eps func(x uint64) float64
+}
+
+// DefaultCheckConfig returns the configuration used by the experiments:
+// M = 2^20, dense prefix 1024, trend decay factor 0.82, absolute floor
+// 0.02, γ = 0.5, ε(x) = 1/ln(2+x).
+func DefaultCheckConfig() CheckConfig {
+	return CheckConfig{
+		M:             1 << 20,
+		Dense:         1024,
+		DecayFactor:   0.82,
+		AbsoluteFloor: 0.02,
+		Gamma:         0.5,
+		Eps:           func(x uint64) float64 { return 1 / math.Log(2+float64(x)) },
+	}
+}
+
+// windows returns the [lo, hi] boundaries of the mid and top scale windows.
+func (c CheckConfig) windows() (midLo, midHi, topLo, topHi uint64) {
+	m := float64(c.M)
+	midLo = uint64(math.Pow(m, 0.35))
+	midHi = uint64(math.Pow(m, 0.60))
+	topLo = uint64(math.Pow(m, 0.70))
+	topHi = c.M
+	if midLo < 4 {
+		midLo = 4
+	}
+	return
+}
+
+// verdict applies the two-scale trend test to per-scale exponents.
+func (c CheckConfig) verdict(mid, top float64) bool {
+	if top <= c.AbsoluteFloor {
+		return true
+	}
+	return top < c.DecayFactor*mid
+}
+
+// CheckSlowDropping tests Definition 7: g is slow-dropping iff for every
+// α > 0 there is N with g(y) >= g(x)/y^α whenever x < y, y >= N.
+//
+// The violation exponent at y is D(y) = ln(maxPrefix(y-1)/g(y)) / ln y:
+// the α that a drop to y would force. Polynomial decay keeps D bounded
+// away from zero at every scale; sub-polynomial decay drives D → 0.
+func CheckSlowDropping(g Func, cfg CheckConfig) Report {
+	grid := Grid(cfg.M, cfg.Dense)
+	midLo, midHi, topLo, topHi := cfg.windows()
+
+	var (
+		prefixMaxLog = math.Inf(-1)
+		prefixArgMax uint64
+		mid, top     float64
+		wit          *Witness
+	)
+	for _, y := range grid {
+		ly := LogEval(g, y)
+		if y > 1 && prefixMaxLog > ly {
+			d := (prefixMaxLog - ly) / math.Log(float64(y))
+			if y >= midLo && y <= midHi && d > mid {
+				mid = d
+			}
+			if y >= topLo && y <= topHi && d > top {
+				top = d
+				wit = &Witness{
+					X: prefixArgMax, Y: y,
+					GX: g.Eval(prefixArgMax), GY: g.Eval(y),
+					Exponent: d,
+				}
+			}
+		}
+		if ly > prefixMaxLog {
+			prefixMaxLog = ly
+			prefixArgMax = y
+		}
+	}
+	return Report{
+		Holds:       cfg.verdict(mid, top),
+		MidExponent: mid, TopExponent: top,
+		Witness: wit,
+	}
+}
+
+// CheckSlowJumping tests Definition 6: g is slow-jumping iff for every
+// α > 0 there is N with g(y) <= ⌊y/x⌋^{2+α} x^α g(x) whenever x < y, y >= N.
+//
+// The violation exponent at (x, y) is
+//
+//	J(x, y) = ( ln g(y) - ln g(x) - 2 ln⌊y/x⌋ ) / ln y,
+//
+// the α that the pair forces (splitting the α-slack between the ⌊y/x⌋ and
+// x factors only shrinks it further, so this is conservative in the right
+// direction: quadratic-with-subpoly-excess functions measure J → 0, while
+// x^{2+c} measures J → c > 0).
+func CheckSlowJumping(g Func, cfg CheckConfig) Report {
+	grid := Grid(cfg.M, cfg.Dense)
+	midLo, midHi, topLo, topHi := cfg.windows()
+
+	var (
+		mid, top float64
+		wit      *Witness
+	)
+	// For each y in a scale window, maximize J over x < y drawn from the
+	// same grid (the grid is geometric, so all ratios y/x are covered).
+	for _, y := range grid {
+		inMid := y >= midLo && y <= midHi
+		inTop := y >= topLo && y <= topHi
+		if !inMid && !inTop {
+			continue
+		}
+		ly := LogEval(g, y)
+		logy := math.Log(float64(y))
+		for _, x := range grid {
+			if x >= y {
+				break
+			}
+			ratio := y / x // ⌊y/x⌋ >= 1
+			j := (ly - LogEval(g, x) - 2*math.Log(float64(ratio))) / logy
+			if inMid && j > mid {
+				mid = j
+			}
+			if inTop && j > top {
+				top = j
+				wit = &Witness{X: x, Y: y, GX: g.Eval(x), GY: g.Eval(y), Exponent: j}
+			}
+		}
+	}
+	return Report{
+		Holds:       cfg.verdict(mid, top),
+		MidExponent: mid, TopExponent: top,
+		Witness: wit,
+	}
+}
+
+// CheckPredictable tests Definition 8 at γ = cfg.Gamma: g is predictable
+// iff for large x and every y ∈ [1, x^{1-γ}) with x+y outside the ε-stable
+// set δ_ε(g, x), we have g(y) >= x^{-γ} g(x).
+//
+// For pairs (x, y) where the instability condition triggers
+// (|g(x+y) - g(x)| > ε(x) g(x)), the violation exponent is
+//
+//	P(x, y) = ( ln g(x) - ln g(y) ) / ln x,
+//
+// which must exceed γ for a genuine violation; we record max(P - γ, 0).
+func CheckPredictable(g Func, cfg CheckConfig) Report {
+	grid := Grid(cfg.M, cfg.Dense)
+	midLo, midHi, topLo, topHi := cfg.windows()
+	eps := cfg.Eps
+	if eps == nil {
+		eps = DefaultCheckConfig().Eps
+	}
+
+	var (
+		mid, top float64
+		wit      *Witness
+	)
+	for _, x := range grid {
+		inMid := x >= midLo && x <= midHi
+		inTop := x >= topLo && x <= topHi
+		if !inMid && !inTop {
+			continue
+		}
+		gx := g.Eval(x)
+		lgx := LogEval(g, x)
+		logx := math.Log(float64(x))
+		e := eps(x)
+		yMax := uint64(math.Pow(float64(x), 1-cfg.Gamma))
+		for _, y := range yGrid(yMax) {
+			gxy := g.Eval(x + y)
+			if math.Abs(gxy-gx) <= e*gx {
+				continue // x+y ∈ δ_ε(g, x): stable, no constraint
+			}
+			p := (lgx-LogEval(g, y))/logx - cfg.Gamma
+			if p <= 0 {
+				continue
+			}
+			if inMid && p > mid {
+				mid = p
+			}
+			if inTop && p > top {
+				top = p
+				wit = &Witness{X: x, Y: y, GX: gx, GY: g.Eval(y), Exponent: p}
+			}
+		}
+	}
+	return Report{
+		Holds:       cfg.verdict(mid, top),
+		MidExponent: mid, TopExponent: top,
+		Witness: wit,
+	}
+}
+
+// yGrid enumerates perturbations y in [1, yMax): dense small values then
+// geometric steps. Local variability is usually visible already at y = 1.
+func yGrid(yMax uint64) []uint64 {
+	if yMax <= 1 {
+		return nil
+	}
+	var out []uint64
+	for y := uint64(1); y < yMax && y <= 32; y++ {
+		out = append(out, y)
+	}
+	y := float64(33)
+	for uint64(y) < yMax {
+		out = append(out, uint64(y))
+		y *= 1.5
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package heavy
+
+import (
+	"repro/internal/gfunc"
+	"repro/internal/sketch"
+	"repro/internal/util"
+)
+
+// TwoPass implements Algorithm 1, the 2-pass (g, λ, 0, δ)-heavy-hitter
+// algorithm:
+//
+//	First pass:  S ← CountSketch(λ/2H(M), 1/3, δ), keeping only the
+//	             identities of the top 2H(M)/λ estimated items.
+//	Second pass: tabulate v_j exactly for every j ∈ S.
+//	Return (j, v_j) for all j ∈ S.
+//
+// By Lemma 17/18, every (g, λ)-heavy hitter of a slow-jumping and
+// slow-dropping g is an F2 λ/2H(M)-heavy hitter, so the CountSketch pass
+// finds them all; the exact second pass removes any dependence on the local
+// variability of g, which is why predictability is not needed (Theorem 3).
+type TwoPass struct {
+	g      gfunc.Func
+	cs     *sketch.CountSketch
+	topk   int
+	cands  []uint64
+	counts map[uint64]int64
+	done   bool
+}
+
+// TwoPassConfig configures Algorithm 1.
+type TwoPassConfig struct {
+	G      gfunc.Func
+	Lambda float64 // heaviness λ
+	Delta  float64 // failure probability δ
+	// H is the envelope H(M) of the function (gfunc.MeasureEnvelope). The
+	// sketch width scales with it; intractable functions force it (and
+	// hence the space) to grow polynomially.
+	H float64
+	// WidthFactor scales the bucket count for experiment sweeps; 0 means 1.
+	WidthFactor float64
+}
+
+// NewTwoPass returns a fresh Algorithm 1 instance.
+func NewTwoPass(cfg TwoPassConfig, rng *util.SplitMix64) *TwoPass {
+	wf := cfg.WidthFactor
+	if wf == 0 {
+		wf = 1
+	}
+	h := cfg.H
+	if h < 1 {
+		h = 1
+	}
+	// Pass 1 needs only identification, not (1±ε) estimates, so ε = 1/3
+	// as in the paper's Algorithm 1.
+	rows, buckets, topk := dims(cfg.Lambda/2, 1.0/3, cfg.Delta, h, wf)
+	return &TwoPass{
+		g:      cfg.G,
+		cs:     sketch.NewCountSketchTopK(rows, buckets, topk, rng.Fork()),
+		topk:   topk,
+		counts: make(map[uint64]int64),
+	}
+}
+
+// Pass1 feeds an update to the identification pass.
+func (t *TwoPass) Pass1(item uint64, delta int64) {
+	t.cs.Update(item, delta)
+}
+
+// FinishPass1 extracts the candidate identities, discarding the estimated
+// frequencies exactly as Algorithm 1 specifies.
+func (t *TwoPass) FinishPass1() {
+	for _, c := range t.cs.TopK() {
+		t.cands = append(t.cands, c.Item)
+		t.counts[c.Item] = 0
+	}
+}
+
+// Pass2 tabulates exact frequencies for the candidates.
+func (t *TwoPass) Pass2(item uint64, delta int64) {
+	if _, ok := t.counts[item]; ok {
+		t.counts[item] += delta
+	}
+}
+
+// Cover returns (j, v_j, g(|v_j|)) for every candidate with nonzero
+// frequency. Weights are exact, i.e. this is a (g, λ, 0)-cover.
+func (t *TwoPass) Cover() Cover {
+	t.done = true
+	cover := make(Cover, 0, len(t.cands))
+	for _, it := range t.cands {
+		f := t.counts[it]
+		if f == 0 {
+			continue
+		}
+		cover = append(cover, Entry{
+			Item:   it,
+			Freq:   f,
+			Weight: t.g.Eval(uint64(util.AbsInt64(f))),
+		})
+	}
+	cover.sortByWeight()
+	return cover
+}
+
+// SpaceBytes reports the CountSketch counters plus the candidate table
+// (16 bytes per candidate).
+func (t *TwoPass) SpaceBytes() int {
+	return t.cs.SpaceBytes() + t.topk*16
+}
+
+// RunTwoPass runs Algorithm 1 over a replayable update sequence and
+// returns the cover. each must iterate the same updates on every call.
+func RunTwoPass(cfg TwoPassConfig, rng *util.SplitMix64, each func(fn func(item uint64, delta int64))) Cover {
+	t := NewTwoPass(cfg, rng)
+	each(t.Pass1)
+	t.FinishPass1()
+	each(t.Pass2)
+	return t.Cover()
+}

@@ -1,0 +1,137 @@
+package mle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gfunc"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	p := Poisson{Alpha: 3, Max: 64}
+	var sum float64
+	for x := uint64(0); x <= p.Max; x++ {
+		sum += p.PMF(x)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("Poisson PMF sums to %v", sum)
+	}
+}
+
+func TestMixturePMFSumsToOne(t *testing.T) {
+	p := PoissonMixture{Lambda: 0.5, Alpha: 0.3, Beta: 8, Max: 64}
+	var sum float64
+	for x := uint64(0); x <= p.Max; x++ {
+		sum += p.PMF(x)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("mixture PMF sums to %v", sum)
+	}
+}
+
+func TestMixtureNegLogIsNonMonotonic(t *testing.T) {
+	// The paper's motivating point: -log p for a Poisson mixture is not
+	// monotonic (it dips near the second component's mode).
+	p := PoissonMixture{Lambda: 0.5, Alpha: 0.3, Beta: 8, Max: 64}
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.G
+	increased, decreased := false, false
+	for x := uint64(1); x < 20; x++ {
+		a, b := g.Eval(x), g.Eval(x+1)
+		if b > a {
+			increased = true
+		}
+		if b < a {
+			decreased = true
+		}
+	}
+	if !increased || !decreased {
+		t.Error("mixture -log p should be non-monotonic on [1, 20]")
+	}
+}
+
+func TestModelRejectsModeAwayFromZero(t *testing.T) {
+	// Poisson(5) peaks at x=5 > p(0): the class-G reduction must refuse.
+	if _, err := NewModel(Poisson{Alpha: 5, Max: 64}); err == nil {
+		t.Error("expected rejection for mode away from 0")
+	}
+}
+
+func TestModelClassGNormalization(t *testing.T) {
+	m, err := NewModel(Geometric{Q: 0.4, Max: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gfunc.Validate(m.G, 64); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogLikelihoodRoundTrip(t *testing.T) {
+	// Exact log-likelihood via the model's affine form must equal the
+	// direct computation -Σ log p(v_i).
+	d := Geometric{Q: 0.4, Max: 64}
+	m, err := NewModel(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 128
+	rng := util.NewSplitMix64(3)
+	v := make(stream.Vector)
+	var direct float64
+	for i := uint64(0); i < n; i++ {
+		x := d.Sample(rng)
+		if x > 0 {
+			v[i] = int64(x)
+		}
+		direct += -math.Log(d.PMF(x))
+	}
+	got := m.ExactLogLikelihood(v, n)
+	if util.RelErr(got, direct) > 1e-9 {
+		t.Errorf("affine form %.8g != direct %.8g", got, direct)
+	}
+}
+
+func TestApproxMLEFindsTruth(t *testing.T) {
+	// Sample from Geometric(0.45) and recover it from a θ grid via the
+	// universal sketch. The guarantee is ℓ(θ̂) <= (1+ε) ℓ(θ*), which we
+	// check alongside grid proximity.
+	const n = 1 << 10
+	truth := Geometric{Q: 0.45, Max: 32}
+	s := stream.IIDSamples(stream.GenConfig{N: n, M: 32, Seed: 17},
+		func(rng *util.SplitMix64) int64 { return int64(truth.Sample(rng)) })
+
+	grid := []float64{0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75}
+	models := make([]*Model, len(grid))
+	for i, q := range grid {
+		m, err := NewModel(Geometric{Q: q, Max: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = m
+	}
+
+	est := NewEstimator(models, core.Options{N: n, M: 32, Eps: 0.2, Seed: 23}, 3)
+	est.Process(s)
+	idx, _ := est.ArgMin()
+
+	// Exact minimizer over the grid.
+	v := s.Vector()
+	bestIdx, bestLL := 0, math.Inf(1)
+	for i, m := range models {
+		if ll := m.ExactLogLikelihood(v, n); ll < bestLL {
+			bestIdx, bestLL = i, ll
+		}
+	}
+	chosenLL := models[idx].ExactLogLikelihood(v, n)
+	if chosenLL > 1.2*bestLL {
+		t.Errorf("approximate MLE picked θ=%v with ℓ=%.4g; best grid ℓ=%.4g at θ=%v",
+			grid[idx], chosenLL, bestLL, grid[bestIdx])
+	}
+}

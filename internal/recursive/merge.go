@@ -1,0 +1,36 @@
+package recursive
+
+import (
+	"fmt"
+
+	"repro/internal/heavy"
+)
+
+// Merger is implemented by level sketchers that support distributed
+// merging (heavy.OnePass does).
+type Merger interface {
+	Merge(other *heavy.OnePass) error
+}
+
+// Merge folds another recursive sketch (same configuration and seed) into
+// s, level by level. Both sketches must have been built by New with
+// identical Config and rng seed so that the subsampling hashes and
+// per-level sketcher hashes coincide; level counts are verified, hash
+// equality is the caller's contract (as with sketch.CountSketch.Merge).
+func (s *Sketch) Merge(other *Sketch) error {
+	if len(s.levels) != len(other.levels) {
+		return fmt.Errorf("recursive: level count mismatch %d vs %d",
+			len(s.levels), len(other.levels))
+	}
+	for k := range s.levels {
+		a, okA := s.levels[k].(*heavy.OnePass)
+		b, okB := other.levels[k].(*heavy.OnePass)
+		if !okA || !okB {
+			return fmt.Errorf("recursive: level %d sketcher does not support merging", k)
+		}
+		if err := a.Merge(b); err != nil {
+			return fmt.Errorf("recursive: level %d: %w", k, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package recursive
+
+import (
+	"testing"
+
+	"repro/internal/gfunc"
+	"repro/internal/heavy"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+func makeOnePassFactory(g gfunc.Func, h float64, rng *util.SplitMix64) func(int) heavy.Sketcher {
+	return func(level int) heavy.Sketcher {
+		return heavy.NewOnePass(heavy.OnePassConfig{
+			G: g, Lambda: 0.05, Eps: 0.25, Delta: 0.1, H: h,
+		}, rng.Fork())
+	}
+}
+
+func TestRecursiveSketchEstimatesGSum(t *testing.T) {
+	g := gfunc.F2Func()
+	h := gfunc.MeasureEnvelope(g, 1<<10).H()
+	for seed := uint64(1); seed <= 5; seed++ {
+		s := stream.Zipf(stream.GenConfig{N: 1 << 12, M: 1 << 10, Seed: seed}, 300, 1.1)
+		rng := util.NewSplitMix64(seed * 11)
+		sk := New(Config{N: s.N(), MakeSketcher: makeOnePassFactory(g, h, rng.Fork())}, rng.Fork())
+		s.Each(func(u stream.Update) { sk.Update(u.Item, u.Delta) })
+		truth := s.Vector().Sum(g.Eval)
+		if err := util.RelErr(sk.Estimate(), truth); err > 0.3 {
+			t.Errorf("seed %d: relative error %.3f > 0.3", seed, err)
+		}
+	}
+}
+
+func TestRecursiveLevelsDefault(t *testing.T) {
+	rng := util.NewSplitMix64(1)
+	sk := New(Config{N: 1 << 10, MakeSketcher: makeOnePassFactory(gfunc.F1Func(), 1, rng.Fork())}, rng.Fork())
+	if sk.Levels() != 10 {
+		t.Errorf("levels = %d, want 10", sk.Levels())
+	}
+}
+
+func TestCombineCoversSingleLevel(t *testing.T) {
+	// One level, everything in the cover: the estimate is the exact sum.
+	covers := []heavy.Cover{{{Item: 1, Weight: 5}, {Item: 2, Weight: 7}}}
+	got := CombineCovers(covers, func(int, uint64) bool { panic("no levels") })
+	if got != 12 {
+		t.Errorf("single-level combine = %v, want 12", got)
+	}
+}
+
+func TestCombineCoversDoubling(t *testing.T) {
+	// Two levels: level 0 sees {a}, level 1 sees {b} where b survived
+	// subsampling but a did not. Estimate = w_a + 2*(w_b - 0).
+	covers := []heavy.Cover{
+		{{Item: 1, Weight: 10}},
+		{{Item: 2, Weight: 3}},
+	}
+	got := CombineCovers(covers, func(level int, item uint64) bool {
+		return item == 2 // only item 2 survives into U_1
+	})
+	if got != 16 {
+		t.Errorf("combine = %v, want 10 + 2*3 = 16", got)
+	}
+}
+
+func TestCombineCoversSubtractsSurvivors(t *testing.T) {
+	// Item 1 is heavy at level 0 AND survives to level 1, where it is
+	// also in the cover; its weight must not be double counted.
+	covers := []heavy.Cover{
+		{{Item: 1, Weight: 10}},
+		{{Item: 1, Weight: 10}},
+	}
+	got := CombineCovers(covers, func(level int, item uint64) bool { return true })
+	if got != 10 {
+		t.Errorf("combine = %v, want 10 (no double counting)", got)
+	}
+}
+
+func TestCombineCoversClampsNegativeRemainder(t *testing.T) {
+	// Deep estimate smaller than the survivor mass: the remainder term
+	// would push below the certain heavy mass; it must clamp.
+	covers := []heavy.Cover{
+		{{Item: 1, Weight: 10}, {Item: 2, Weight: 4}},
+		{}, // deeper level found nothing
+	}
+	got := CombineCovers(covers, func(level int, item uint64) bool { return item == 1 })
+	// heavySum = 14, survivorSum = 10, est1 = 0 -> 14 + 2*(0-10) < 14 -> clamp
+	if got != 14 {
+		t.Errorf("combine = %v, want clamp at 14", got)
+	}
+}
+
+func TestTwoPassRecursiveMatchesExact(t *testing.T) {
+	g := gfunc.SinSqrtX2()
+	h := gfunc.MeasureEnvelope(g, 1<<10).H()
+	for seed := uint64(1); seed <= 3; seed++ {
+		s := stream.Zipf(stream.GenConfig{N: 1 << 12, M: 1 << 10, Seed: seed}, 300, 1.1)
+		rng := util.NewSplitMix64(seed * 17)
+		hhRng := rng.Fork()
+		sk := NewTwoPass(TwoPassConfig{
+			N: s.N(),
+			MakeSketcher: func(level int) heavy.TwoPassSketcher {
+				return heavy.NewTwoPass(heavy.TwoPassConfig{
+					G: g, Lambda: 0.05, Delta: 0.1, H: h,
+				}, hhRng.Fork())
+			},
+		}, rng.Fork())
+		s.Each(func(u stream.Update) { sk.Pass1(u.Item, u.Delta) })
+		sk.FinishPass1()
+		s.Each(func(u stream.Update) { sk.Pass2(u.Item, u.Delta) })
+		truth := s.Vector().Sum(g.Eval)
+		if err := util.RelErr(sk.Estimate(), truth); err > 0.3 {
+			t.Errorf("seed %d: 2-pass relative error %.3f > 0.3", seed, err)
+		}
+	}
+}
+
+func TestSpaceBytesAggregates(t *testing.T) {
+	rng := util.NewSplitMix64(9)
+	sk := New(Config{N: 1 << 8, MakeSketcher: makeOnePassFactory(gfunc.F1Func(), 1, rng.Fork())}, rng.Fork())
+	if sk.SpaceBytes() <= 0 {
+		t.Error("SpaceBytes must be positive")
+	}
+}

@@ -1,0 +1,131 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Linear sketches are shippable: a worker sketches its shard of the
+// stream, serializes the counter state, and a coordinator merges the
+// shards into the sketch of the union stream. The hash functions are NOT
+// serialized — they are reconstructed deterministically from the seed, so
+// the wire format stays small and the seed is the only coordination
+// needed. Marshal/Unmarshal therefore pair with the same seed-discipline
+// rule as Merge: the receiving sketch must have been constructed with
+// identical dimensions and seed.
+//
+// Wire format (big endian):
+//
+//	magic u32 | rows u32 | buckets u64 | counters rows*buckets*i64
+//	          | tracked u32 | tracked item ids u64...
+//
+// The tracked-item section carries the top-k candidate ids (when the
+// sketch was built with NewCountSketchTopK); estimates are recomputed on
+// the receiving side, so only identities travel.
+
+const countSketchMagic uint32 = 0x67535543 // "gSUC"
+
+// MarshalBinary serializes the counter state and tracked candidates.
+func (cs *CountSketch) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v interface{}) {
+		// bytes.Buffer writes cannot fail.
+		_ = binary.Write(&buf, binary.BigEndian, v)
+	}
+	w(countSketchMagic)
+	w(uint32(cs.rows))
+	w(cs.buckets)
+	for j := 0; j < cs.rows; j++ {
+		w(cs.counts[j])
+	}
+	if cs.topK != nil {
+		items := cs.topK.items()
+		w(uint32(len(items)))
+		w(items)
+	} else {
+		w(uint32(0))
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary ADDS the serialized counter state into cs (merge
+// semantics, matching the linearity of the sketch). cs must have been
+// constructed with the same dimensions and seed as the sender; dimensions
+// are verified, seed discipline is the caller's contract. To load a shard
+// into an empty sketch, construct a fresh sketch first.
+func (cs *CountSketch) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic, rows uint32
+	var buckets uint64
+	if err := binary.Read(r, binary.BigEndian, &magic); err != nil {
+		return fmt.Errorf("sketch: truncated header: %w", err)
+	}
+	if magic != countSketchMagic {
+		return fmt.Errorf("sketch: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.BigEndian, &rows); err != nil {
+		return fmt.Errorf("sketch: truncated rows: %w", err)
+	}
+	if err := binary.Read(r, binary.BigEndian, &buckets); err != nil {
+		return fmt.Errorf("sketch: truncated buckets: %w", err)
+	}
+	if int(rows) != cs.rows || buckets != cs.buckets {
+		return fmt.Errorf("sketch: dimension mismatch: wire %dx%d vs local %dx%d",
+			rows, buckets, cs.rows, cs.buckets)
+	}
+	row := make([]int64, buckets)
+	for j := 0; j < int(rows); j++ {
+		if err := binary.Read(r, binary.BigEndian, &row); err != nil {
+			return fmt.Errorf("sketch: truncated row %d: %w", j, err)
+		}
+		for i, v := range row {
+			cs.counts[j][i] += v
+		}
+	}
+	var tracked uint32
+	if err := binary.Read(r, binary.BigEndian, &tracked); err != nil {
+		return fmt.Errorf("sketch: truncated tracker: %w", err)
+	}
+	if tracked > 0 {
+		items := make([]uint64, tracked)
+		if err := binary.Read(r, binary.BigEndian, &items); err != nil {
+			return fmt.Errorf("sketch: truncated tracked items: %w", err)
+		}
+		if cs.topK != nil {
+			for _, it := range items {
+				cs.topK.offer(it, cs.Estimate(it))
+			}
+		}
+	}
+	return nil
+}
+
+// TrackedItems returns the identities currently held by the top-k tracker
+// (nil when the sketch was built without one). Exposed for merge logic.
+func (cs *CountSketch) TrackedItems() []uint64 {
+	if cs.topK == nil {
+		return nil
+	}
+	return cs.topK.items()
+}
+
+// MergeTopK merges another sketch's counters AND its tracked candidates:
+// after the counter merge, the other side's candidates are re-offered
+// against the merged state, so a candidate heavy in either shard (or only
+// in the union) competes on its merged estimate.
+func (cs *CountSketch) MergeTopK(other *CountSketch) error {
+	if err := cs.Merge(other); err != nil {
+		return err
+	}
+	if cs.topK != nil && other.topK != nil {
+		for _, it := range other.topK.items() {
+			cs.topK.offer(it, cs.Estimate(it))
+		}
+		// Re-score our own survivors against the merged counters too.
+		for _, it := range cs.topK.items() {
+			cs.topK.offer(it, cs.Estimate(it))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/util"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	u := testVector(31, 200, 500)
+	src := NewCountSketch(5, 512, util.NewSplitMix64(77))
+	feed(src, u)
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewCountSketch(5, 512, util.NewSplitMix64(77)) // same seed: same hashes
+	if err := dst.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for it := range u {
+		if src.Estimate(it) != dst.Estimate(it) {
+			t.Fatalf("estimate mismatch for %d after round trip", it)
+		}
+	}
+}
+
+func TestUnmarshalAddsLikeMerge(t *testing.T) {
+	u := testVector(33, 150, 100)
+	w := testVector(34, 150, 100)
+	a := NewCountSketch(5, 512, util.NewSplitMix64(9))
+	b := NewCountSketch(5, 512, util.NewSplitMix64(9))
+	both := NewCountSketch(5, 512, util.NewSplitMix64(9))
+	feed(a, u)
+	feed(b, w)
+	feed(both, u)
+	feed(both, w)
+
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for it := range u {
+		if a.Estimate(it) != both.Estimate(it) {
+			t.Fatalf("unmarshal-merge mismatch for item %d", it)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	cs := NewCountSketch(5, 512, util.NewSplitMix64(1))
+	if err := cs.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("expected error on truncated input")
+	}
+	other := NewCountSketch(5, 256, util.NewSplitMix64(1))
+	data, err := other.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.UnmarshalBinary(data); err == nil {
+		t.Error("expected dimension mismatch error")
+	}
+	// Corrupt the magic.
+	data[0] ^= 0xff
+	if err := other.UnmarshalBinary(data); err == nil {
+		t.Error("expected magic mismatch error")
+	}
+}
+
+func TestMarshalCarriesTrackedCandidates(t *testing.T) {
+	src := NewCountSketchTopK(5, 1024, 8, util.NewSplitMix64(3))
+	src.Update(12345, 100000)
+	src.Update(777, 50000)
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCountSketchTopK(5, 1024, 8, util.NewSplitMix64(3))
+	if err := dst.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]bool{}
+	for _, c := range dst.TopK() {
+		found[c.Item] = true
+	}
+	if !found[12345] || !found[777] {
+		t.Errorf("tracked candidates lost in serialization: %v", found)
+	}
+}
+
+func TestMergeTopKUnionCandidates(t *testing.T) {
+	a := NewCountSketchTopK(5, 1024, 8, util.NewSplitMix64(7))
+	b := NewCountSketchTopK(5, 1024, 8, util.NewSplitMix64(7))
+	a.Update(1, 90000)
+	b.Update(2, 80000)
+	// An item split across shards, heavy only in the union:
+	a.Update(3, 45000)
+	b.Update(3, 45000)
+	if err := a.MergeTopK(b); err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]int64{}
+	for _, c := range a.TopK() {
+		found[c.Item] = c.Est
+	}
+	if found[1] == 0 || found[2] == 0 {
+		t.Errorf("shard-local heavy items lost: %v", found)
+	}
+	if found[3] < 85000 {
+		t.Errorf("union-heavy item has estimate %d, want ~90000", found[3])
+	}
+}

@@ -1,0 +1,154 @@
+// Package xhash implements k-wise independent hash families over the
+// Mersenne prime p = 2^61 - 1, the standard construction used by streaming
+// sketches such as CountSketch and the AMS F2 sketch.
+//
+// A degree-(k-1) polynomial with random coefficients in GF(p) evaluated at
+// the key yields a k-wise independent family. Pairwise independence (k = 2)
+// suffices for bucket hashes; four-wise independence (k = 4) is required for
+// the variance bound of the AMS tug-of-war sketch and for CountSketch sign
+// hashes.
+package xhash
+
+import (
+	"math/bits"
+
+	"repro/internal/util"
+)
+
+// MersennePrime61 is the modulus 2^61 - 1 used by every family in this
+// package.
+const MersennePrime61 uint64 = (1 << 61) - 1
+
+// mulmod returns (a * b) mod (2^61 - 1) using 128-bit intermediate
+// arithmetic followed by Mersenne reduction.
+func mulmod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo. With p = 2^61 - 1, 2^61 ≡ 1 (mod p), so
+	// 2^64 ≡ 8 (mod p). Fold: result = hi*8 + lo (mod p), and lo itself
+	// folds as (lo >> 61) + (lo & p).
+	r := (lo & MersennePrime61) + (lo >> 61)
+	r += (hi << 3) & MersennePrime61
+	r += hi >> 58
+	for r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
+}
+
+// addmod returns (a + b) mod (2^61 - 1) for a, b < 2^61 - 1.
+func addmod(a, b uint64) uint64 {
+	s := a + b
+	if s >= MersennePrime61 {
+		s -= MersennePrime61
+	}
+	return s
+}
+
+// Poly is a polynomial hash h(x) = c[0] + c[1] x + ... + c[k-1] x^(k-1)
+// mod (2^61 - 1). A polynomial with k random coefficients is a k-wise
+// independent family.
+type Poly struct {
+	coeff []uint64
+}
+
+// NewPoly draws a fresh degree-(k-1) polynomial (k coefficients) using rng.
+// It panics if k < 1.
+func NewPoly(k int, rng *util.SplitMix64) *Poly {
+	if k < 1 {
+		panic("xhash: polynomial needs at least one coefficient")
+	}
+	coeff := make([]uint64, k)
+	for i := range coeff {
+		coeff[i] = rng.Uint64n(MersennePrime61)
+	}
+	// Force the leading coefficient nonzero so the family has full degree.
+	if k > 1 && coeff[k-1] == 0 {
+		coeff[k-1] = 1
+	}
+	return &Poly{coeff: coeff}
+}
+
+// K returns the independence parameter (number of coefficients).
+func (p *Poly) K() int { return len(p.coeff) }
+
+// Hash evaluates the polynomial at x (reduced mod p first) via Horner's rule.
+// The result lies in [0, 2^61 - 1).
+func (p *Poly) Hash(x uint64) uint64 {
+	x %= MersennePrime61
+	acc := uint64(0)
+	for i := len(p.coeff) - 1; i >= 0; i-- {
+		acc = addmod(mulmod(acc, x), p.coeff[i])
+	}
+	return acc
+}
+
+// Buckets is a k-wise independent hash into a fixed number of buckets.
+type Buckets struct {
+	poly *Poly
+	b    uint64
+}
+
+// NewBuckets returns a k-wise independent hash mapping keys to [0, b).
+// It panics if b == 0.
+func NewBuckets(k int, b uint64, rng *util.SplitMix64) *Buckets {
+	if b == 0 {
+		panic("xhash: zero buckets")
+	}
+	return &Buckets{poly: NewPoly(k, rng), b: b}
+}
+
+// B returns the number of buckets.
+func (h *Buckets) B() uint64 { return h.b }
+
+// Hash maps x to a bucket in [0, B()).
+func (h *Buckets) Hash(x uint64) uint64 {
+	return h.poly.Hash(x) % h.b
+}
+
+// Sign is a k-wise independent hash into {-1, +1}, the ξ function of
+// CountSketch and the AMS sketch.
+type Sign struct {
+	poly *Poly
+}
+
+// NewSign returns a k-wise independent ±1 hash. CountSketch and AMS require
+// k = 4 for their variance bounds.
+func NewSign(k int, rng *util.SplitMix64) *Sign {
+	return &Sign{poly: NewPoly(k, rng)}
+}
+
+// Hash maps x to -1 or +1.
+func (h *Sign) Hash(x uint64) int64 {
+	// Use the low bit of the polynomial value. The polynomial value is
+	// (close to) uniform over GF(p), so the low bit is (close to) unbiased.
+	if h.poly.Hash(x)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Bernoulli is a k-wise independent hash into {0, 1} with success
+// probability numer/denom. It implements the pairwise-independent Bernoulli
+// variables used by the recursive sketch's subsampling and by the nearly
+// periodic heavy-hitter algorithm of Appendix D.1.
+type Bernoulli struct {
+	poly  *Poly
+	numer uint64
+	denom uint64
+}
+
+// NewBernoulli returns a k-wise independent Bernoulli(numer/denom) hash.
+// It panics if denom == 0 or numer > denom.
+func NewBernoulli(k int, numer, denom uint64, rng *util.SplitMix64) *Bernoulli {
+	if denom == 0 || numer > denom {
+		panic("xhash: invalid Bernoulli parameters")
+	}
+	return &Bernoulli{poly: NewPoly(k, rng), numer: numer, denom: denom}
+}
+
+// Hash reports whether x is selected (probability numer/denom over the
+// random draw of the family).
+func (h *Bernoulli) Hash(x uint64) bool {
+	// Scale the polynomial value from [0, p) into [0, denom) and compare.
+	return h.poly.Hash(x)%h.denom < h.numer
+}

@@ -1,0 +1,187 @@
+package xhash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/util"
+)
+
+func TestMulmodMatchesBigArithmetic(t *testing.T) {
+	// Verify Mersenne reduction against direct computation on values
+	// small enough for exact float/int reasoning, and on structured edge
+	// cases via (a*b) mod p computed with math/bits-free 128-bit splitting.
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, 1}, {MersennePrime61 - 1, MersennePrime61 - 1},
+		{MersennePrime61 - 1, 2}, {1 << 60, 1 << 60}, {123456789, 987654321},
+	}
+	for _, c := range cases {
+		got := mulmod(c.a, c.b)
+		want := slowMulmod(c.a, c.b)
+		if got != want {
+			t.Errorf("mulmod(%d, %d) = %d, want %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+// slowMulmod computes (a*b) mod p by splitting a into 32-bit halves.
+func slowMulmod(a, b uint64) uint64 {
+	const p = MersennePrime61
+	a %= p
+	b %= p
+	hi := a >> 32
+	lo := a & 0xffffffff
+	// a*b = hi*2^32*b + lo*b, each term reduced iteratively.
+	t1 := mulSmall(hi, b) // hi*b mod p
+	// multiply by 2^32 mod p
+	for i := 0; i < 32; i++ {
+		t1 <<= 1
+		if t1 >= p {
+			t1 -= p
+		}
+	}
+	t2 := mulSmall(lo, b)
+	s := t1 + t2
+	if s >= p {
+		s -= p
+	}
+	return s
+}
+
+// mulSmall multiplies a (< 2^32) by b mod p via shift-and-add.
+func mulSmall(a, b uint64) uint64 {
+	const p = MersennePrime61
+	var acc uint64
+	b %= p
+	for a > 0 {
+		if a&1 == 1 {
+			acc += b
+			if acc >= p {
+				acc -= p
+			}
+		}
+		b <<= 1
+		if b >= p {
+			b -= p
+		}
+		a >>= 1
+	}
+	return acc
+}
+
+func TestMulmodProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return mulmod(a%MersennePrime61, b%MersennePrime61) ==
+			slowMulmod(a%MersennePrime61, b%MersennePrime61)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyHashRange(t *testing.T) {
+	rng := util.NewSplitMix64(7)
+	p := NewPoly(4, rng)
+	f := func(x uint64) bool { return p.Hash(x) < MersennePrime61 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketsRange(t *testing.T) {
+	rng := util.NewSplitMix64(3)
+	for _, b := range []uint64{1, 2, 7, 64, 1 << 20} {
+		h := NewBuckets(2, b, rng.Fork())
+		for x := uint64(0); x < 1000; x++ {
+			if v := h.Hash(x); v >= b {
+				t.Fatalf("bucket hash %d >= %d buckets", v, b)
+			}
+		}
+	}
+}
+
+func TestBucketsUniformity(t *testing.T) {
+	rng := util.NewSplitMix64(11)
+	const b = 16
+	const n = 160000
+	h := NewBuckets(2, b, rng)
+	counts := make([]int, b)
+	for x := uint64(0); x < n; x++ {
+		counts[h.Hash(x)]++
+	}
+	want := float64(n) / b
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Errorf("bucket %d count %d deviates more than 15%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	rng := util.NewSplitMix64(13)
+	s := NewSign(4, rng)
+	var sum int64
+	const n = 100000
+	for x := uint64(0); x < n; x++ {
+		v := s.Hash(x)
+		if v != 1 && v != -1 {
+			t.Fatalf("sign hash returned %d", v)
+		}
+		sum += v
+	}
+	if math.Abs(float64(sum)) > 4*math.Sqrt(n) {
+		t.Errorf("sign sum %d deviates more than 4 sigma from 0", sum)
+	}
+}
+
+func TestSignPairwiseDecorrelation(t *testing.T) {
+	// E[s(x) s(y)] should be ~0 for x != y: 4-wise independence implies
+	// pairwise.
+	rng := util.NewSplitMix64(17)
+	s := NewSign(4, rng)
+	var sum int64
+	const n = 50000
+	for x := uint64(0); x < n; x++ {
+		sum += s.Hash(x) * s.Hash(x+1)
+	}
+	if math.Abs(float64(sum)) > 5*math.Sqrt(n) {
+		t.Errorf("adjacent-key sign correlation %d too large", sum)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	rng := util.NewSplitMix64(19)
+	for _, frac := range []struct{ num, den uint64 }{{1, 2}, {1, 4}, {3, 4}} {
+		h := NewBernoulli(2, frac.num, frac.den, rng.Fork())
+		hits := 0
+		const n = 100000
+		for x := uint64(0); x < n; x++ {
+			if h.Hash(x) {
+				hits++
+			}
+		}
+		want := float64(n) * float64(frac.num) / float64(frac.den)
+		if math.Abs(float64(hits)-want) > 0.05*float64(n) {
+			t.Errorf("Bernoulli(%d/%d): %d hits, want ~%v", frac.num, frac.den, hits, want)
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	a := NewPoly(3, util.NewSplitMix64(42))
+	b := NewPoly(3, util.NewSplitMix64(42))
+	f := func(x uint64) bool { return a.Hash(x) == b.Hash(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPolyPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	NewPoly(0, util.NewSplitMix64(1))
+}

@@ -1,0 +1,153 @@
+// Package universal is the public API of this reproduction of
+//
+//	Braverman, Chestnut, Woodruff, Yang.
+//	"Streaming Space Complexity of Nearly All Functions of One Variable
+//	on Frequency Vectors." PODS 2016 (arXiv:1601.07473).
+//
+// It answers two questions about a function g : Z≥0 → R≥0 with g(0)=0,
+// g(1)=1, g(x)>0:
+//
+//  1. Can Σ_i g(|v_i|) over a turnstile stream's frequency vector be
+//     (1±ε)-approximated in sub-polynomial space? Classify implements the
+//     paper's zero-one laws: for "normal" g, one pass works iff g is
+//     slow-jumping, slow-dropping, and predictable (Theorem 2); two passes
+//     work iff g is slow-jumping and slow-dropping (Theorem 3).
+//
+//  2. How? NewOnePassEstimator and NewTwoPassEstimator implement the
+//     paper's Algorithms 2 and 1 inside the Braverman-Ostrovsky recursive
+//     sketch (Theorem 13), and NewUniversalSketch exposes the
+//     function-independent linear sketch that answers post-hoc g-SUM
+//     queries for whole function families (the §1.1.1 MLE application).
+//
+// Everything is deterministic given a seed, uses only the standard
+// library, and is exercised end to end by the E1-E12 experiment suite
+// (internal/experiments, cmd/gsum) documented in EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	g := universal.X2Log()                 // g(x) = x² lg(1+x), 1-pass tractable
+//	s := universal.NewStream(1 << 12)      // turnstile stream, domain [0, 4096)
+//	s.Add(7, +3)
+//	s.Add(9, -2)
+//	est := universal.NewOnePassEstimator(g, universal.Options{N: 1 << 12, M: 1 << 10})
+//	est.Process(s)
+//	fmt.Println(est.Estimate())
+//
+// See examples/ for runnable programs.
+package universal
+
+import (
+	"repro/internal/core"
+	"repro/internal/gfunc"
+	"repro/internal/stream"
+)
+
+// Func is a function g in the paper's class G (g(0)=0, g(1)=1, g(x)>0 for
+// x>0). Implement it directly or use the catalog constructors below.
+type Func = gfunc.Func
+
+// Stream is an in-memory turnstile stream over a domain [0, N).
+type Stream = stream.Stream
+
+// Update is a single turnstile update (item, δ).
+type Update = stream.Update
+
+// Vector is a sparse frequency vector.
+type Vector = stream.Vector
+
+// Options configures the estimators; see core.Options for field docs.
+type Options = core.Options
+
+// Classification is the zero-one-law verdict bundle for one function.
+type Classification = gfunc.Classification
+
+// CheckConfig tunes the property witness searchers.
+type CheckConfig = gfunc.CheckConfig
+
+// Tractability is a zero-one-law verdict (Tractable, Intractable, or
+// OpenNearlyPeriodic).
+type Tractability = gfunc.Tractability
+
+// Tractability verdict values.
+const (
+	Tractable          = gfunc.Tractable
+	Intractable        = gfunc.Intractable
+	OpenNearlyPeriodic = gfunc.OpenNearlyPeriodic
+)
+
+// NewStream returns an empty turnstile stream over the domain [0, n).
+func NewStream(n uint64) *Stream { return stream.New(n) }
+
+// New wraps a closure satisfying the class-G constraints as a Func.
+func New(name string, eval func(uint64) float64) Func { return gfunc.New(name, eval) }
+
+// Normalize rescales an arbitrary positive function into class G.
+func Normalize(name string, f func(uint64) float64) Func { return gfunc.Normalize(name, f) }
+
+// Catalog constructors for the paper's worked examples.
+var (
+	// Power returns g(x) = x^p (tractable iff 0 <= p <= 2).
+	Power = gfunc.Power
+	// F2 returns g(x) = x².
+	F2 = gfunc.F2Func
+	// F1 returns g(x) = x.
+	F1 = gfunc.F1Func
+	// L0 returns the distinct-elements indicator 1(x>0).
+	L0 = gfunc.L0
+	// Reciprocal returns 1/x (not slow-dropping; intractable).
+	Reciprocal = gfunc.Reciprocal
+	// X2Log returns x² lg(1+x) (1-pass tractable).
+	X2Log = gfunc.X2Log
+	// SinX2 returns (2+sin x)x²/3 (2-pass tractable only).
+	SinX2 = gfunc.SinX2
+	// SinSqrtX2 returns (2+sin √x)x² normalized (2-pass tractable only).
+	SinSqrtX2 = gfunc.SinSqrtX2
+	// SinLogX2 returns (2+sin log(1+x))x² normalized (1-pass tractable).
+	SinLogX2 = gfunc.SinLogX2
+	// ExpSqrtLog returns e^√log(1+x) normalized (1-pass tractable).
+	ExpSqrtLog = gfunc.ExpSqrtLog
+	// Gnp returns the nearly periodic g_np(x) = 2^{-ι(x)} of Appendix D.
+	Gnp = gfunc.Gnp
+	// LEta applies the L_η(g) = g·log^η(1+x) transform of Definition 55.
+	LEta = gfunc.LEta
+)
+
+// DefaultCheckConfig returns the witness-search configuration used by the
+// experiments (range 2^20, γ = 1/2, ε(x) = 1/ln(2+x)).
+func DefaultCheckConfig() CheckConfig { return gfunc.DefaultCheckConfig() }
+
+// Classify runs the zero-one-law property checkers (Definitions 6-9) on g
+// and returns the Theorem 2 / Theorem 3 verdicts.
+func Classify(g Func, cfg CheckConfig) Classification { return gfunc.Classify(g, cfg) }
+
+// OnePassEstimator approximates g-SUM in one pass (Theorem 2's upper
+// bound: Algorithm 2 inside the recursive sketch).
+type OnePassEstimator = core.OnePassEstimator
+
+// TwoPassEstimator approximates g-SUM in two passes (Theorem 3's upper
+// bound: Algorithm 1 inside the recursive sketch).
+type TwoPassEstimator = core.TwoPassEstimator
+
+// ExactEstimator is the linear-space baseline.
+type ExactEstimator = core.ExactEstimator
+
+// UniversalSketch is the function-independent linear sketch supporting
+// post-hoc g-SUM queries (§1.1.1).
+type UniversalSketch = core.Universal
+
+// NewOnePassEstimator builds the one-pass estimator for g.
+func NewOnePassEstimator(g Func, opts Options) *OnePassEstimator {
+	return core.NewOnePass(g, opts)
+}
+
+// NewTwoPassEstimator builds the two-pass estimator for g.
+func NewTwoPassEstimator(g Func, opts Options) *TwoPassEstimator {
+	return core.NewTwoPass(g, opts)
+}
+
+// NewExactEstimator builds the exact linear-space baseline for g.
+func NewExactEstimator(g Func) *ExactEstimator { return core.NewExact(g) }
+
+// NewUniversalSketch builds a function-independent sketch; set
+// opts.Envelope to the max envelope of the functions you will query.
+func NewUniversalSketch(opts Options) *UniversalSketch { return core.NewUniversal(opts) }
