@@ -12,6 +12,7 @@ package universal
 // are attached via b.ReportMetric.
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -172,6 +173,103 @@ func BenchmarkMeasureEnvelope(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		gfunc.MeasureEnvelope(g, 1<<16)
 	}
+}
+
+// --- ingestion engine: serial vs batched vs parallel ----------------------
+
+// ingestBenchStream builds a heavy-tailed insertion stream of n updates
+// over a 4096-item working set inside a 2^16 domain — the workload the
+// batch path's duplicate aggregation and the sharded engine target.
+func ingestBenchStream(n int) *stream.Stream {
+	rng := util.NewSplitMix64(77)
+	s := stream.New(1 << 16)
+	for i := 0; i < n; i++ {
+		// Quadratic skew: low item ranks dominate, as in a Zipf workload.
+		r := rng.Float64()
+		s.Add(uint64(r*r*4096), 1)
+	}
+	return s
+}
+
+const ingestBenchN = 1 << 20
+
+// BenchmarkIngest compares the three ingestion paths of the one-pass
+// estimator on a 1M-update stream: per-update, batched serial, and the
+// sharded parallel engine. The metric that matters is updates/s;
+// estimator construction is included in every variant so the comparison
+// stays symmetric (the parallel path must build its worker shards).
+func BenchmarkIngest(b *testing.B) {
+	g := gfunc.F2Func()
+	s := ingestBenchStream(ingestBenchN)
+	opts := core.Options{N: s.N(), M: 1 << 10, Eps: 0.25, Seed: 7, Lambda: 1.0 / 16}
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(b.N)*float64(s.Len())/b.Elapsed().Seconds(), "updates/s")
+	}
+
+	b.Run("serial-single-update", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewOnePass(g, opts)
+			s.Each(func(u stream.Update) { e.Update(u.Item, u.Delta) })
+		}
+		report(b)
+	})
+	b.Run("serial-batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewOnePass(g, opts)
+			e.Process(s) // engine.Ingest: UpdateBatch in DefaultBatchSize chunks
+		}
+		report(b)
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := core.NewOnePass(g, opts)
+				if err := e.ProcessParallel(s, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b)
+		})
+	}
+}
+
+// BenchmarkIngestTwoPass compares serial and parallel two-pass runs.
+func BenchmarkIngestTwoPass(b *testing.B) {
+	g := gfunc.X2Log()
+	s := ingestBenchStream(ingestBenchN / 4)
+	opts := core.Options{N: s.N(), M: 1 << 10, Eps: 0.25, Seed: 7, Lambda: 1.0 / 16}
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(b.N)*float64(2*s.Len())/b.Elapsed().Seconds(), "updates/s")
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewTwoPass(g, opts)
+			e.Run(s)
+		}
+		report(b)
+	})
+	b.Run("parallel-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewTwoPass(g, opts)
+			if _, err := e.RunParallel(s, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+}
+
+// BenchmarkCountSketchBatch isolates the batch path's duplicate
+// aggregation at the raw sketch layer against the per-update baseline
+// (BenchmarkCountSketchUpdateTopK above).
+func BenchmarkCountSketchBatch(b *testing.B) {
+	updates := ingestBenchStream(1 << 16).Updates()
+	cs := sketch.NewCountSketchTopK(7, 4096, 128, util.NewSplitMix64(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.UpdateBatch(updates[:4096])
+	}
+	b.ReportMetric(4096*float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 }
 
 // --- ablations (DESIGN.md §5) ---------------------------------------------

@@ -3,19 +3,24 @@
 //	gsum classify                 classify the paper's function catalog
 //	gsum classify -f x^2          classify one named catalog function
 //	gsum estimate [flags]         estimate a g-SUM on a generated stream
-//	gsum experiments [-quick]     run the full E1-E12 experiment suite
+//	gsum estimate -workers 8      ... with sharded parallel ingestion
+//	gsum experiments [-quick]     run the full E1-E15 experiment suite
 //	gsum experiments -run E4      run a single experiment
 //
-// Every run is deterministic given -seed.
+// Every run is deterministic given -seed (and, for estimate, -workers:
+// the sharded engine merges by linearity, so worker count does not
+// change the counters — see internal/engine).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gfunc"
 	"repro/internal/stream"
@@ -23,30 +28,38 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the CLI. It is the testable entry point: everything is
+// written to the given writers and the exit code is returned instead of
+// calling os.Exit.
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) < 1 {
+		usage(stderr)
+		return 2
 	}
-	switch os.Args[1] {
+	switch argv[0] {
 	case "classify":
-		runClassify(os.Args[2:])
+		return runClassify(argv[1:], stdout, stderr)
 	case "estimate":
-		runEstimate(os.Args[2:])
+		return runEstimate(argv[1:], stdout, stderr)
 	case "experiments":
-		runExperiments(os.Args[2:])
+		return runExperiments(argv[1:], stdout, stderr)
 	case "-h", "--help", "help":
-		usage()
+		usage(stdout)
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "gsum: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gsum: unknown command %q\n", argv[0])
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `usage:
-  gsum classify [-f name] [-m max]   zero-one-law classification
-  gsum estimate [flags]              estimate g-SUM on a generated stream
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  gsum classify [-f name] [-m max]    zero-one-law classification
+  gsum estimate [flags]               estimate g-SUM on a generated stream
   gsum experiments [-quick] [-run E#] reproduce the paper's experiments
 `)
 }
@@ -59,42 +72,47 @@ func catalogByName() map[string]gfunc.Func {
 	return m
 }
 
-func runClassify(args []string) {
-	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+func runClassify(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	name := fs.String("f", "", "classify only the named catalog function")
 	m := fs.Uint64("m", 1<<20, "witness search range [1, m]")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := gfunc.DefaultCheckConfig()
 	cfg.M = *m
 	if *name != "" {
 		g, ok := catalogByName()[*name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "gsum: unknown function %q; available:\n", *name)
+			fmt.Fprintf(stderr, "gsum: unknown function %q; available:\n", *name)
 			for _, e := range gfunc.Catalog() {
-				fmt.Fprintf(os.Stderr, "  %s\n", e.Func.Name())
+				fmt.Fprintf(stderr, "  %s\n", e.Func.Name())
 			}
-			os.Exit(2)
+			return 2
 		}
 		c := gfunc.Classify(g, cfg)
-		fmt.Println(c.String())
-		fmt.Printf("  slow-jumping:   mid=%.3f top=%.3f witness %s\n",
+		fmt.Fprintln(stdout, c.String())
+		fmt.Fprintf(stdout, "  slow-jumping:   mid=%.3f top=%.3f witness %s\n",
 			c.SlowJumping.MidExponent, c.SlowJumping.TopExponent, c.SlowJumping.Witness)
-		fmt.Printf("  slow-dropping:  mid=%.3f top=%.3f witness %s\n",
+		fmt.Fprintf(stdout, "  slow-dropping:  mid=%.3f top=%.3f witness %s\n",
 			c.SlowDropping.MidExponent, c.SlowDropping.TopExponent, c.SlowDropping.Witness)
-		fmt.Printf("  predictable:    mid=%.3f top=%.3f witness %s\n",
+		fmt.Fprintf(stdout, "  predictable:    mid=%.3f top=%.3f witness %s\n",
 			c.Predictable.MidExponent, c.Predictable.TopExponent, c.Predictable.Witness)
-		fmt.Printf("  nearly periodic: mid=%.3f top=%.3f witness %s\n",
+		fmt.Fprintf(stdout, "  nearly periodic: mid=%.3f top=%.3f witness %s\n",
 			c.NearlyPeriodic.MidExponent, c.NearlyPeriodic.TopExponent, c.NearlyPeriodic.Witness)
-		return
+		return 0
 	}
 	for _, e := range gfunc.Catalog() {
-		fmt.Println(gfunc.Classify(e.Func, cfg).String())
+		fmt.Fprintln(stdout, gfunc.Classify(e.Func, cfg).String())
 	}
+	return 0
 }
 
-func runEstimate(args []string) {
-	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+func runEstimate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	fname := fs.String("f", "x^2", "catalog function to sum")
 	n := fs.Uint64("n", 1<<12, "domain size")
 	m := fs.Int64("m", 1<<10, "max |frequency|")
@@ -103,12 +121,15 @@ func runEstimate(args []string) {
 	eps := fs.Float64("eps", 0.25, "target accuracy")
 	seed := fs.Uint64("seed", 1, "random seed")
 	passes := fs.Int("passes", 1, "1 or 2 passes")
-	fs.Parse(args)
+	workers := fs.Int("workers", 1, "ingestion workers (0 = GOMAXPROCS, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	g, ok := catalogByName()[*fname]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "gsum: unknown function %q\n", *fname)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gsum: unknown function %q\n", *fname)
+		return 2
 	}
 	s := stream.Zipf(stream.GenConfig{N: *n, M: *m, Seed: *seed}, *items, *alpha)
 	exact := core.NewExact(g)
@@ -121,41 +142,64 @@ func runEstimate(args []string) {
 	switch *passes {
 	case 1:
 		e := core.NewOnePass(g, opts)
-		e.Process(s)
+		if *workers == 1 {
+			e.Process(s)
+		} else if err := e.ProcessParallel(s, *workers); err != nil {
+			fmt.Fprintf(stderr, "gsum: %v\n", err)
+			return 1
+		}
 		est, space = e.Estimate(), e.SpaceBytes()
 	case 2:
 		e := core.NewTwoPass(g, opts)
-		est = e.Run(s)
+		if *workers == 1 {
+			est = e.Run(s)
+		} else {
+			var err error
+			if est, err = e.RunParallel(s, *workers); err != nil {
+				fmt.Fprintf(stderr, "gsum: %v\n", err)
+				return 1
+			}
+		}
 		space = e.SpaceBytes()
 	default:
-		fmt.Fprintln(os.Stderr, "gsum: -passes must be 1 or 2")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gsum: -passes must be 1 or 2")
+		return 2
 	}
-	fmt.Printf("g = %s over zipf(n=%d, M=%d, items=%d, alpha=%.2f)\n",
+	fmt.Fprintf(stdout, "g = %s over zipf(n=%d, M=%d, items=%d, alpha=%.2f)\n",
 		g.Name(), *n, *m, *items, *alpha)
-	fmt.Printf("exact   %.6g  (%d bytes)\n", truth, exact.SpaceBytes())
-	fmt.Printf("%d-pass  %.6g  (%d bytes), relative error %.4f\n",
+	if *workers != 1 {
+		fmt.Fprintf(stdout, "ingestion: sharded across %d workers (merged by linearity)\n",
+			engine.Workers(*workers))
+	}
+	fmt.Fprintf(stdout, "exact   %.6g  (%d bytes)\n", truth, exact.SpaceBytes())
+	fmt.Fprintf(stdout, "%d-pass  %.6g  (%d bytes), relative error %.4f\n",
 		*passes, est, space, util.RelErr(est, truth))
+	return 0
 }
 
-func runExperiments(args []string) {
-	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+func runExperiments(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "shrink workloads for a fast pass")
 	run := fs.String("run", "", "run a single experiment, e.g. E4")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *run != "" {
 		id := strings.ToUpper(*run)
-		for _, t := range experiments.All(*quick) {
-			if t.ID == id {
-				t.Render(os.Stdout)
-				return
+		for _, r := range experiments.Runners() {
+			if r.ID == id {
+				t := r.Run(*quick)
+				t.Render(stdout)
+				return 0
 			}
 		}
-		fmt.Fprintf(os.Stderr, "gsum: unknown experiment %q (E1..E12)\n", *run)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gsum: unknown experiment %q (E1..E15)\n", *run)
+		return 2
 	}
 	for _, t := range experiments.All(*quick) {
-		t.Render(os.Stdout)
+		t.Render(stdout)
 	}
+	return 0
 }

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The CLI is exercised through run(), the testable entry point: every
+// command writes to the supplied writers and returns an exit code.
+
+func gsum(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return out.String(), errw.String(), code
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	_, stderr, code := gsum(t)
+	if code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Errorf("stderr missing usage: %q", stderr)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, stderr, code := gsum(t, "frobnicate")
+	if code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown command") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	stdout, _, code := gsum(t, "help")
+	if code != 0 {
+		t.Errorf("exit code %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "classify") || !strings.Contains(stdout, "estimate") {
+		t.Errorf("help output incomplete: %q", stdout)
+	}
+}
+
+func TestClassifySingleFunction(t *testing.T) {
+	// A small witness range keeps the checkers fast.
+	stdout, _, code := gsum(t, "classify", "-f", "x^2", "-m", "4096")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(stdout, "x^2") {
+		t.Errorf("classification output missing function name: %q", stdout)
+	}
+	if !strings.Contains(stdout, "slow-jumping") {
+		t.Errorf("classification output missing property lines: %q", stdout)
+	}
+}
+
+func TestClassifyUnknownFunction(t *testing.T) {
+	_, stderr, code := gsum(t, "classify", "-f", "nope", "-m", "64")
+	if code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown function") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+func TestEstimateSerial(t *testing.T) {
+	stdout, stderr, code := gsum(t, "estimate", "-n", "1024", "-m", "256", "-items", "100")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"g = x^2", "exact", "1-pass", "relative error"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("estimate output missing %q: %q", want, stdout)
+		}
+	}
+}
+
+func TestEstimateParallelWorkersMatchesSerial(t *testing.T) {
+	// Same seed, different worker counts: the sharded engine merges by
+	// linearity, so the printed estimates must be identical.
+	serial, stderr, code := gsum(t, "estimate", "-n", "1024", "-m", "256", "-items", "80", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("serial exit code %d, stderr: %s", code, stderr)
+	}
+	par, stderr, code := gsum(t, "estimate", "-n", "1024", "-m", "256", "-items", "80", "-seed", "3", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("parallel exit code %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(par, "sharded across 4 workers") {
+		t.Errorf("parallel output missing worker line: %q", par)
+	}
+	// The final estimate line must agree verbatim.
+	lastLine := func(s string) string {
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		return lines[len(lines)-1]
+	}
+	if lastLine(serial) != lastLine(par) {
+		t.Errorf("parallel estimate diverged:\n serial: %s\n parallel: %s",
+			lastLine(serial), lastLine(par))
+	}
+}
+
+func TestEstimateTwoPassParallel(t *testing.T) {
+	stdout, stderr, code := gsum(t, "estimate", "-passes", "2", "-n", "1024", "-m", "256",
+		"-items", "80", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "2-pass") {
+		t.Errorf("output missing 2-pass line: %q", stdout)
+	}
+}
+
+func TestEstimateBadPasses(t *testing.T) {
+	_, stderr, code := gsum(t, "estimate", "-passes", "3")
+	if code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-passes must be 1 or 2") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+func TestExperimentsSingle(t *testing.T) {
+	stdout, stderr, code := gsum(t, "experiments", "-quick", "-run", "E1")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "E1") {
+		t.Errorf("experiment output missing table header: %q", stdout)
+	}
+}
+
+func TestExperimentsUnknown(t *testing.T) {
+	_, stderr, code := gsum(t, "experiments", "-run", "E99")
+	if code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown experiment") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}

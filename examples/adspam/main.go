@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"os"
 
 	universal "repro"
 	"repro/internal/stream"
@@ -27,6 +29,15 @@ func fee(clicks uint64) float64 {
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "adspam:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example body; it writes to w so the smoke tests can
+// assert on the output.
+func run(w io.Writer) error {
 	const (
 		nUsers = 1 << 14
 		m      = 1 << 20
@@ -36,8 +47,8 @@ func main() {
 
 	// Classify first: is this billing curve even sketchable?
 	c := universal.Classify(g, universal.DefaultCheckConfig())
-	fmt.Println(c.String())
-	fmt.Println()
+	fmt.Fprintln(w, c.String())
+	fmt.Fprintln(w)
 
 	// Click stream: 3000 regular users (tens to hundreds of clicks), a
 	// handful of power users, and a few bots with huge click counts.
@@ -75,11 +86,12 @@ func main() {
 
 	scale := g.Eval(1) // 1.0 by normalization; fee(1)/scale recovers dollars
 	_ = scale
-	fmt.Printf("total fee (exact):    %12.1f fee-units  (space %d B)\n", truth*fee(1), exact.SpaceBytes())
-	fmt.Printf("total fee (sketched): %12.1f fee-units  (space %d B)\n", got*fee(1), est.SpaceBytes())
-	fmt.Printf("relative error: %.4f (target 0.2)\n", util.RelErr(got, truth))
-	fmt.Println()
-	fmt.Println("the discount makes g non-monotonic in marginal terms; the paper's")
-	fmt.Println("characterization says the sum is still 1-pass sketchable because the")
-	fmt.Println("curve is slow-jumping, slow-dropping, and predictable.")
+	fmt.Fprintf(w, "total fee (exact):    %12.1f fee-units  (space %d B)\n", truth*fee(1), exact.SpaceBytes())
+	fmt.Fprintf(w, "total fee (sketched): %12.1f fee-units  (space %d B)\n", got*fee(1), est.SpaceBytes())
+	fmt.Fprintf(w, "relative error: %.4f (target 0.2)\n", util.RelErr(got, truth))
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "the discount makes g non-monotonic in marginal terms; the paper's")
+	fmt.Fprintln(w, "characterization says the sum is still 1-pass sketchable because the")
+	fmt.Fprintln(w, "curve is slow-jumping, slow-dropping, and predictable.")
+	return nil
 }

@@ -7,20 +7,31 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"os"
 
 	universal "repro"
 	"repro/internal/gfunc"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example body; it writes to w so the smoke tests can
+// assert on the output.
+func run(w io.Writer) error {
 	cfg := universal.DefaultCheckConfig()
 
-	fmt.Println("Zero-one law classification (Definitions 6-9, Theorems 2-3)")
-	fmt.Println()
+	fmt.Fprintln(w, "Zero-one law classification (Definitions 6-9, Theorems 2-3)")
+	fmt.Fprintln(w)
 	for _, entry := range gfunc.Catalog() {
 		c := universal.Classify(entry.Func, cfg)
-		fmt.Println(c.String())
+		fmt.Fprintln(w, c.String())
 	}
 
 	// A custom function: the billing curve from the ad-spam example —
@@ -31,11 +42,12 @@ func main() {
 		return fx * math.Exp(-fx/500)
 	})
 	c := universal.Classify(custom, cfg)
-	fmt.Println()
-	fmt.Println("custom function:")
-	fmt.Println(c.String())
-	fmt.Println()
-	fmt.Println("interpretation: the exponential decay is polynomial-or-faster, so the")
-	fmt.Println("fee curve fails slow-dropping and no sub-polynomial sketch exists for it")
-	fmt.Println("(Lemma 23); examples/adspam uses a slow-dropping discount curve instead.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "custom function:")
+	fmt.Fprintln(w, c.String())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "interpretation: the exponential decay is polynomial-or-faster, so the")
+	fmt.Fprintln(w, "fee curve fails slow-dropping and no sub-polynomial sketch exists for it")
+	fmt.Fprintln(w, "(Lemma 23); examples/adspam uses a slow-dropping discount curve instead.")
+	return nil
 }

@@ -9,6 +9,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/comm"
 	"repro/internal/stream"
@@ -16,6 +18,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "distinguisher:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example body; it writes to w so the smoke tests can
+// assert on the output.
+func run(w io.Writer) error {
 	const (
 		a, b, c = int64(31), int64(12), int64(1)
 		n       = 1 << 12
@@ -24,9 +35,9 @@ func main() {
 
 	q, ok := comm.MinCombination([]int64{a, b}, c, int(a+b))
 	if !ok {
-		panic("no linear combination found")
+		return fmt.Errorf("no linear combination of (%d,%d) reaching %d", a, b, c)
 	}
-	fmt.Printf("(a,b,c) = (%d,%d,%d): minimal combination %d·%d + %d·%d = %d, q = Σ|q_i| = %d\n",
+	fmt.Fprintf(w, "(a,b,c) = (%d,%d,%d): minimal combination %d·%d + %d·%d = %d, q = Σ|q_i| = %d\n",
 		a, b, c, q[0], a, q[1], b, c, comm.NormOf(q))
 
 	// Sound residue radius: how many colliding b-items a bucket tolerates.
@@ -34,7 +45,7 @@ func main() {
 	for comm.ResidueSetsDisjoint(a, b, c, l+1) == nil {
 		l++
 	}
-	fmt.Printf("sound residue radius l = %d; base residues mod %d: %v\n\n",
+	fmt.Fprintf(w, "sound residue radius l = %d; base residues mod %d: %v\n\n",
 		l, a, comm.SortedResidues(a, b, l))
 
 	for _, t := range []int{16, 64, 256, 1024} {
@@ -56,12 +67,13 @@ func main() {
 			}
 		}
 		ds := comm.NewDistSolver(a, b, c, t, l, util.NewSplitMix64(1))
-		fmt.Printf("t = %4d buckets (%5d B): accuracy %5.1f%%\n",
+		fmt.Fprintf(w, "t = %4d buckets (%5d B): accuracy %5.1f%%\n",
 			t, ds.SpaceBytes(), 100*float64(correct)/float64(trials))
 	}
-	fmt.Println()
-	fmt.Printf("theory: reliable detection from t ≈ n/q² = %d/%d ≈ %d buckets\n",
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "theory: reliable detection from t ≈ n/q² = %d/%d ≈ %d buckets\n",
 		items, comm.NormOf(q)*comm.NormOf(q), items/int(comm.NormOf(q)*comm.NormOf(q))+1)
-	fmt.Println("(with polylog slack); below that, bucket collisions exceed the residue")
-	fmt.Println("radius and the promise cannot be decided — Theorem 48's Ω(n/q²).")
+	fmt.Fprintln(w, "(with polylog slack); below that, bucket collisions exceed the residue")
+	fmt.Fprintln(w, "radius and the promise cannot be decided — Theorem 48's Ω(n/q²).")
+	return nil
 }

@@ -1,76 +1,107 @@
 // Distributed: the paper's sketches are linear, so g-SUM estimation
 // distributes for free — shard the stream across workers, sketch each
-// shard with the same seed, ship the counters, merge. This example runs
-// four workers, serializes worker state through the wire format, and
-// checks the merged estimate against a single-machine run. Deletions on
-// one shard cancel insertions on another, exactly as in one stream.
+// shard with the same seed, merge. This example shows both faces of
+// that fact:
 //
-//	go run ./examples/distributed
+//   - the sharded parallel ingestion engine (universal.NewParallelEstimator),
+//     which partitions the stream across GOMAXPROCS-style worker shards
+//     and merges them back, producing the SAME estimate as a serial run;
+//
+//   - manual multi-machine style sharding with explicit Merge calls,
+//     including turnstile cancellation: deletions on one shard cancel
+//     insertions on another, exactly as in one stream.
+//
+//     go run ./examples/distributed
 package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	universal "repro"
-	"repro/internal/core"
 	"repro/internal/stream"
-	"repro/internal/util"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "distributed:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example body; it writes to w so the smoke tests can
+// assert on the output.
+func run(w io.Writer) error {
 	const (
-		n      = 1 << 12
-		m      = 1 << 10
-		shards = 4
-		seed   = 123
+		n       = 1 << 12
+		m       = 1 << 10
+		shards  = 4
+		workers = 4
+		seed    = 123
 	)
 	g := universal.F2()
 	opts := universal.Options{N: n, M: m, Eps: 0.25, Seed: seed, Lambda: 1.0 / 16}
 
-	full := stream.Zipf(stream.GenConfig{N: n, M: m, Seed: 9}, 400, 1.1)
-	fmt.Printf("stream: %d updates, %d distinct items; %d workers\n",
-		full.Len(), full.Vector().F0(), shards)
+	// 90 distinct items keeps the candidate trackers inside the regime
+	// where parallel and serial estimates agree bit-for-bit.
+	full := stream.Zipf(stream.GenConfig{N: n, M: m, Seed: 9}, 90, 1.1)
+	fmt.Fprintf(w, "stream: %d updates, %d distinct items\n",
+		full.Len(), full.Vector().F0())
 
-	// Single-machine reference.
+	// Single-machine serial reference.
 	single := universal.NewOnePassEstimator(g, opts)
 	single.Process(full)
 
-	// Workers: identical Options (same Seed => same hash functions).
-	workers := make([]*core.OnePassEstimator, shards)
-	for w := range workers {
-		workers[w] = universal.NewOnePassEstimator(g, opts)
-	}
-	i := 0
-	full.Each(func(u stream.Update) {
-		workers[i%shards].Update(u.Item, u.Delta)
-		i++
-	})
-
-	// Coordinator: merge everything into worker 0.
-	for w := 1; w < shards; w++ {
-		if err := workers[0].Merge(workers[w]); err != nil {
-			panic(err)
-		}
+	// The sharded parallel engine: same Options (same Seed => same hash
+	// functions), contiguous chunks, linearity-based merge.
+	par := universal.NewParallelEstimator(g, opts, workers)
+	if err := par.Process(full); err != nil {
+		return err
 	}
 
 	exact := universal.NewExactEstimator(g)
 	exact.Process(full)
 
-	fmt.Printf("exact        : %.6g\n", exact.Estimate())
-	fmt.Printf("single pass  : %.6g\n", single.Estimate())
-	fmt.Printf("merged shards: %.6g  (rel err vs single: %.2g)\n",
-		workers[0].Estimate(),
-		util.RelErr(workers[0].Estimate(), single.Estimate()))
+	fmt.Fprintf(w, "exact          : %.6g\n", exact.Estimate())
+	fmt.Fprintf(w, "serial 1-pass  : %.6g\n", single.Estimate())
+	fmt.Fprintf(w, "parallel x%d    : %.6g\n", par.Workers(), par.Estimate())
+	if par.Estimate() == single.Estimate() {
+		fmt.Fprintln(w, "parallel == serial: exact agreement (linearity + same seed)")
+	} else {
+		return fmt.Errorf("parallel %.17g diverged from serial %.17g",
+			par.Estimate(), single.Estimate())
+	}
 
-	fmt.Println()
-	fmt.Println("turnstile cancellation across shards:")
+	// Manual sharding, multi-machine style: each "machine" sketches its
+	// own shard; a coordinator merges everything into shard 0.
+	sharded := make([]*universal.OnePassEstimator, shards)
+	for i := range sharded {
+		sharded[i] = universal.NewOnePassEstimator(g, opts)
+	}
+	i := 0
+	full.Each(func(u stream.Update) {
+		sharded[i%shards].Update(u.Item, u.Delta)
+		i++
+	})
+	for _, worker := range sharded[1:] {
+		if err := sharded[0].Merge(worker); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "merged shards  : %.6g (round-robin split, coordinator merge)\n",
+		sharded[0].Estimate())
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "turnstile cancellation across shards:")
 	x := universal.NewOnePassEstimator(g, opts)
 	y := universal.NewOnePassEstimator(g, opts)
 	x.Update(42, 500)  // worker X sees the insert
 	y.Update(42, -500) // worker Y sees the delete
 	y.Update(7, 3)
 	if err := x.Merge(y); err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Printf("  merged estimate: %.4g (want 9: the ±500 cancels)\n", x.Estimate())
+	fmt.Fprintf(w, "  merged estimate: %.4g (want 9: the ±500 cancels)\n", x.Estimate())
+	return nil
 }

@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/mle"
@@ -19,6 +21,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loglikelihood:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example body; it writes to w so the smoke tests can
+// assert on the output.
+func run(w io.Writer) error {
 	const (
 		n    = 1 << 11
 		maxX = 32
@@ -28,7 +39,7 @@ func main() {
 	// Ground truth: a Poisson mixture — the paper's own example of a
 	// distribution whose -log p is non-monotonic.
 	truth := mle.PoissonMixture{Lambda: 0.7, Alpha: 0.25, Beta: 6, Max: maxX}
-	fmt.Printf("sampling %d coordinates from %s\n", n, truth.Name())
+	fmt.Fprintf(w, "sampling %d coordinates from %s\n", n, truth.Name())
 
 	s := stream.IIDSamples(stream.GenConfig{N: n, M: maxX, Seed: seed},
 		func(rng *util.SplitMix64) int64 { return int64(truth.Sample(rng)) })
@@ -39,7 +50,7 @@ func main() {
 	for _, b := range betas {
 		m, err := mle.NewModel(mle.PoissonMixture{Lambda: 0.7, Alpha: 0.25, Beta: b, Max: maxX})
 		if err != nil {
-			panic(err)
+			return err
 		}
 		models = append(models, m)
 	}
@@ -51,23 +62,24 @@ func main() {
 
 	lls := est.LogLikelihoods()
 	v := s.Vector()
-	fmt.Println()
-	fmt.Println("  β      ℓ̂(θ) sketch    ℓ(θ) exact    rel err")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  β      ℓ̂(θ) sketch    ℓ(θ) exact    rel err")
 	bestIdx, bestLL := 0, math.Inf(1)
 	for i, m := range models {
 		exact := m.ExactLogLikelihood(v, n)
 		if exact < bestLL {
 			bestIdx, bestLL = i, exact
 		}
-		fmt.Printf("  %-5g  %12.2f  %12.2f    %.4f\n",
+		fmt.Fprintf(w, "  %-5g  %12.2f  %12.2f    %.4f\n",
 			betas[i], lls[i], exact, util.RelErr(lls[i], exact))
 	}
 	idx, _ := est.ArgMin()
-	fmt.Println()
-	fmt.Printf("approximate MLE: β̂ = %g (exact grid minimizer: β* = %g)\n",
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "approximate MLE: β̂ = %g (exact grid minimizer: β* = %g)\n",
 		betas[idx], betas[bestIdx])
-	fmt.Printf("guarantee: ℓ(β̂) <= (1+ε) ℓ(β*): %.2f <= %.2f\n",
+	fmt.Fprintf(w, "guarantee: ℓ(β̂) <= (1+ε) ℓ(β*): %.2f <= %.2f\n",
 		models[idx].ExactLogLikelihood(v, n), 1.2*bestLL)
-	fmt.Printf("sketch space: %d B for %d queries from one pass\n",
+	fmt.Fprintf(w, "sketch space: %d B for %d queries from one pass\n",
 		est.SpaceBytes(), len(betas))
+	return nil
 }

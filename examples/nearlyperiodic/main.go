@@ -12,6 +12,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	universal "repro"
 	"repro/internal/gfunc"
@@ -21,11 +23,20 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nearlyperiodic:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example body; it writes to w so the smoke tests can
+// assert on the output.
+func run(w io.Writer) error {
 	g := universal.Gnp()
 	cfg := universal.DefaultCheckConfig()
 	c := universal.Classify(g, cfg)
-	fmt.Println(c.String())
-	fmt.Println()
+	fmt.Fprintln(w, c.String())
+	fmt.Fprintln(w)
 
 	// A planted instance: one item with an odd frequency (g_np = 1) among
 	// items whose frequencies are multiples of 1024 (g_np <= 2^-10).
@@ -46,27 +57,28 @@ func main() {
 	s.Each(func(u stream.Update) { gh.Update(u.Item, u.Delta) })
 	cover := gh.Cover()
 
-	fmt.Printf("planted item %d (g_np = 1) among %d high-ι items\n", want, 60)
-	fmt.Printf("algorithm space: %d B (linear storage would be %d B)\n",
+	fmt.Fprintf(w, "planted item %d (g_np = 1) among %d high-ι items\n", want, 60)
+	fmt.Fprintf(w, "algorithm space: %d B (linear storage would be %d B)\n",
 		gh.SpaceBytes(), n*16)
 	if cover.Contains(want) {
 		for _, e := range cover {
 			if e.Item == want {
-				fmt.Printf("recovered item %d with exact weight %.4g\n", e.Item, e.Weight)
+				fmt.Fprintf(w, "recovered item %d with exact weight %.4g\n", e.Item, e.Weight)
 			}
 		}
 	} else {
-		fmt.Println("planted item not recovered (rerun with another seed)")
+		fmt.Fprintln(w, "planted item not recovered (rerun with another seed)")
 	}
 
 	// Theorem 64: g_np is one δ-nudge away from honest intractability.
 	h := gfunc.PerturbNearlyPeriodic(g, 0.5, cfg)
 	ch := universal.Classify(h, cfg)
-	fmt.Println()
-	fmt.Printf("Θ(g_np, perturbed) = %.4f (δ = 0.5)\n", gfunc.Theta(g, h, cfg.M))
-	fmt.Println(ch.String())
-	fmt.Println()
-	fmt.Println("the perturbation breaks the near-repetition at every period, so the")
-	fmt.Println("INDEX reduction of Lemma 23 applies and the function is intractable —")
-	fmt.Println("nearly periodic functions sit on a knife's edge (Appendix D.5).")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Θ(g_np, perturbed) = %.4f (δ = 0.5)\n", gfunc.Theta(g, h, cfg.M))
+	fmt.Fprintln(w, ch.String())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "the perturbation breaks the near-repetition at every period, so the")
+	fmt.Fprintln(w, "INDEX reduction of Lemma 23 applies and the function is intractable —")
+	fmt.Fprintln(w, "nearly periodic functions sit on a knife's edge (Appendix D.5).")
+	return nil
 }

@@ -6,6 +6,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	universal "repro"
 	"repro/internal/stream"
@@ -13,6 +15,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example body; it writes to w so the smoke tests can
+// assert on the output.
+func run(w io.Writer) error {
 	const (
 		n    = 1 << 12 // domain size
 		m    = 1 << 10 // max |frequency|
@@ -22,7 +33,7 @@ func main() {
 	// A zipfian turnstile stream: 400 items, heavy-tailed frequencies,
 	// with insertions and deletions mixed in.
 	s := stream.Zipf(stream.GenConfig{N: n, M: m, Seed: seed}, 400, 1.1)
-	fmt.Printf("stream: %d updates over domain [0,%d), max |v_i| = %d\n",
+	fmt.Fprintf(w, "stream: %d updates over domain [0,%d), max |v_i| = %d\n",
 		s.Len(), s.N(), s.Vector().MaxAbs())
 
 	// g(x) = x² lg(1+x): slow-jumping, slow-dropping, predictable — so by
@@ -39,12 +50,12 @@ func main() {
 
 	truth := exact.Estimate()
 	got := est.Estimate()
-	fmt.Printf("g = %s\n", g.Name())
-	fmt.Printf("  exact  g-SUM: %.6g   (space %6d B, grows with distinct items)\n",
+	fmt.Fprintf(w, "g = %s\n", g.Name())
+	fmt.Fprintf(w, "  exact  g-SUM: %.6g   (space %6d B, grows with distinct items)\n",
 		truth, exact.SpaceBytes())
-	fmt.Printf("  1-pass g-SUM: %.6g   (space %6d B, sub-polynomial)\n",
+	fmt.Fprintf(w, "  1-pass g-SUM: %.6g   (space %6d B, sub-polynomial)\n",
 		got, est.SpaceBytes())
-	fmt.Printf("  relative error: %.4f (target ε = 0.25)\n", util.RelErr(got, truth))
+	fmt.Fprintf(w, "  relative error: %.4f (target ε = 0.25)\n", util.RelErr(got, truth))
 
 	// The same in two passes (Algorithm 1): exact frequencies for the
 	// heavy hitters, no predictability requirement.
@@ -52,5 +63,6 @@ func main() {
 		N: n, M: m, Eps: 0.25, Seed: seed + 1,
 	})
 	got2 := two.Run(s)
-	fmt.Printf("  2-pass g-SUM: %.6g   relative error %.4f\n", got2, util.RelErr(got2, truth))
+	fmt.Fprintf(w, "  2-pass g-SUM: %.6g   relative error %.4f\n", got2, util.RelErr(got2, truth))
+	return nil
 }

@@ -18,6 +18,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/gfunc"
 	"repro/internal/heavy"
 	"repro/internal/recursive"
@@ -94,14 +95,16 @@ func envelopeFor(g gfunc.Func, o Options) float64 {
 
 // OnePassEstimator approximates g-SUM in a single pass.
 type OnePassEstimator struct {
-	g  gfunc.Func
-	sk *recursive.Sketch
+	g    gfunc.Func
+	sk   *recursive.Sketch
+	opts Options // resolved options, kept so ProcessParallel can clone shards
 }
 
 // NewOnePass builds the Theorem 2 estimator for g.
 func NewOnePass(g gfunc.Func, opts Options) *OnePassEstimator {
 	o := opts.withDefaults()
 	h := envelopeFor(g, o)
+	o.Envelope = h // shard clones reuse the measured envelope instead of re-scanning g
 	rng := util.NewSplitMix64(o.Seed)
 	hhRng := rng.Fork()
 	sk := recursive.New(recursive.Config{
@@ -118,7 +121,7 @@ func NewOnePass(g gfunc.Func, opts Options) *OnePassEstimator {
 			}, hhRng.Fork())
 		},
 	}, rng.Fork())
-	return &OnePassEstimator{g: g, sk: sk}
+	return &OnePassEstimator{g: g, sk: sk, opts: o}
 }
 
 // Update feeds one turnstile update.
@@ -126,9 +129,15 @@ func (e *OnePassEstimator) Update(item uint64, delta int64) {
 	e.sk.Update(item, delta)
 }
 
-// Process consumes an entire stream.
+// UpdateBatch feeds a batch of turnstile updates through the recursive
+// sketch's batch path (duplicate aggregation + per-level routing).
+func (e *OnePassEstimator) UpdateBatch(batch []stream.Update) {
+	e.sk.UpdateBatch(batch)
+}
+
+// Process consumes an entire stream through the batched ingestion path.
 func (e *OnePassEstimator) Process(s *stream.Stream) {
-	s.Each(func(u stream.Update) { e.Update(u.Item, u.Delta) })
+	engine.Ingest(e, s.Updates(), 0)
 }
 
 // Estimate returns the g-SUM estimate. Call once, after the stream.
@@ -139,14 +148,16 @@ func (e *OnePassEstimator) SpaceBytes() int { return e.sk.SpaceBytes() }
 
 // TwoPassEstimator approximates g-SUM with two passes over the stream.
 type TwoPassEstimator struct {
-	g  gfunc.Func
-	sk *recursive.TwoPass
+	g    gfunc.Func
+	sk   *recursive.TwoPass
+	opts Options // resolved options, kept so RunParallel can clone shards
 }
 
 // NewTwoPass builds the Theorem 3 estimator for g.
 func NewTwoPass(g gfunc.Func, opts Options) *TwoPassEstimator {
 	o := opts.withDefaults()
 	h := envelopeFor(g, o)
+	o.Envelope = h // shard clones reuse the measured envelope instead of re-scanning g
 	rng := util.NewSplitMix64(o.Seed)
 	hhRng := rng.Fork()
 	sk := recursive.NewTwoPass(recursive.TwoPassConfig{
@@ -162,15 +173,15 @@ func NewTwoPass(g gfunc.Func, opts Options) *TwoPassEstimator {
 			}, hhRng.Fork())
 		},
 	}, rng.Fork())
-	return &TwoPassEstimator{g: g, sk: sk}
+	return &TwoPassEstimator{g: g, sk: sk, opts: o}
 }
 
-// Run executes both passes over a replayable stream and returns the
-// estimate.
+// Run executes both passes over a replayable stream (through the batched
+// ingestion path) and returns the estimate.
 func (e *TwoPassEstimator) Run(s *stream.Stream) float64 {
-	s.Each(func(u stream.Update) { e.sk.Pass1(u.Item, u.Delta) })
+	forBatches(s.Updates(), e.sk.Pass1Batch)
 	e.sk.FinishPass1()
-	s.Each(func(u stream.Update) { e.sk.Pass2(u.Item, u.Delta) })
+	forBatches(s.Updates(), e.sk.Pass2Batch)
 	return e.sk.Estimate()
 }
 
@@ -209,6 +220,13 @@ func (e *ExactEstimator) Update(item uint64, delta int64) {
 		delete(e.freq, item)
 	} else {
 		e.freq[item] = nv
+	}
+}
+
+// UpdateBatch feeds a batch of turnstile updates.
+func (e *ExactEstimator) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		e.Update(u.Item, u.Delta)
 	}
 }
 
@@ -259,9 +277,16 @@ func (m *MedianOnePass) Update(item uint64, delta int64) {
 	}
 }
 
-// Process consumes an entire stream.
+// UpdateBatch feeds a batch of turnstile updates to every copy.
+func (m *MedianOnePass) UpdateBatch(batch []stream.Update) {
+	for _, r := range m.runs {
+		r.UpdateBatch(batch)
+	}
+}
+
+// Process consumes an entire stream through the batched path.
 func (m *MedianOnePass) Process(s *stream.Stream) {
-	s.Each(func(u stream.Update) { m.Update(u.Item, u.Delta) })
+	engine.Ingest(m, s.Updates(), 0)
 }
 
 // Estimate returns the median of the copies' estimates.

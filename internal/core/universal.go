@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"repro/internal/engine"
 	"repro/internal/gfunc"
 	"repro/internal/heavy"
 	"repro/internal/recursive"
@@ -20,8 +23,24 @@ import (
 // The sketch must be sized for the worst envelope in the family: pass the
 // max of gfunc.MeasureEnvelope(g_θ, M).H() over θ as Options.Envelope.
 type Universal struct {
-	levels []*heavy.OnePass
-	sub    []*xhash.Bernoulli
+	levels  []*heavy.OnePass
+	sub     []*xhash.Bernoulli
+	opts    Options           // resolved options, kept so ProcessParallel can clone shards
+	scratch [][]stream.Update // reusable UpdateBatch survivor buffers
+}
+
+// mergeOnePassLevels folds the per-level OnePass states of src into dst
+// (same configuration and seed at every level).
+func mergeOnePassLevels(dst, src []*heavy.OnePass) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("core: level count mismatch %d vs %d", len(dst), len(src))
+	}
+	for k := range dst {
+		if err := dst[k].Merge(src[k]); err != nil {
+			return fmt.Errorf("core: level %d: %w", k, err)
+		}
+	}
+	return nil
 }
 
 // NewUniversal builds a universal g-SUM sketch. Options.Envelope must be
@@ -46,6 +65,7 @@ func NewUniversal(opts Options) *Universal {
 	u := &Universal{
 		levels: make([]*heavy.OnePass, levels+1),
 		sub:    make([]*xhash.Bernoulli, levels),
+		opts:   o,
 	}
 	for k := 0; k <= levels; k++ {
 		u.levels[k] = heavy.NewOnePass(heavy.OnePassConfig{
@@ -76,9 +96,9 @@ func (u *Universal) Update(item uint64, delta int64) {
 	}
 }
 
-// Process consumes an entire stream.
+// Process consumes an entire stream through the batched ingestion path.
 func (u *Universal) Process(s *stream.Stream) {
-	s.Each(func(up stream.Update) { u.Update(up.Item, up.Delta) })
+	engine.Ingest(u, s.Updates(), 0)
 }
 
 // EstimateFor returns the g-SUM estimate for g from the frozen sketch

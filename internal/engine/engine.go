@@ -1,0 +1,167 @@
+// Package engine is the sharded, batched, concurrent ingestion engine
+// behind the public estimators.
+//
+// Every summary in this repository is a linear sketch: the state reached
+// by processing a stream is the sum of the states reached by processing
+// any partition of it (core/merge.go, heavy/merge.go, recursive/merge.go).
+// The engine exploits that in two independent ways:
+//
+//   - Batching: UpdateBatch paths aggregate duplicate items and touch
+//     each counter row once per distinct item, amortizing hash
+//     evaluations and bounds checks on the hot path.
+//   - Sharding: Process partitions a stream into contiguous chunks, one
+//     per worker, ingests every chunk into a worker-owned shard sketch
+//     (same seed, hence identical hash functions), and folds the shards
+//     together with the linearity-based merges.
+//
+// Both transformations are exact on the counter state — integer addition
+// is associative and commutative — so a parallel run is deterministic
+// given (stream, seed, worker count), independent of goroutine
+// scheduling: chunk boundaries are a pure function of the lengths, and
+// shards merge in index order after all workers finish.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Sketcher is the unified ingestion contract shared by every summary in
+// the repository: the raw linear sketches (sketch.CountSketch,
+// sketch.AMS, sketch.CountMin), the heavy-hitter layer (heavy.OnePass),
+// the recursive sketch (recursive.Sketch), and the public estimators
+// (core.OnePassEstimator, core.ExactEstimator, core.Universal).
+type Sketcher interface {
+	// Update feeds one turnstile update (item, delta).
+	Update(item uint64, delta int64)
+	// SpaceBytes reports counter storage, the quantity the paper's space
+	// bounds govern.
+	SpaceBytes() int
+}
+
+// BatchSketcher is a Sketcher with an amortized bulk ingestion path.
+// UpdateBatch(batch) must leave the counter state exactly as the
+// equivalent sequence of Update calls would (linearity); auxiliary
+// heuristic state such as top-k candidate trackers may be maintained
+// with batch granularity.
+type BatchSketcher interface {
+	Sketcher
+	UpdateBatch(batch []stream.Update)
+}
+
+// Estimator is a Sketcher that produces a final scalar estimate.
+type Estimator interface {
+	Sketcher
+	Estimate() float64
+}
+
+// Mergeable is the distributed half of the contract: folding another
+// identically-configured (same Options, same Seed) instance into the
+// receiver yields the state of the union stream.
+type Mergeable[S any] interface {
+	Merge(other S) error
+}
+
+// DefaultBatchSize is the chunk size Ingest uses when callers pass 0.
+// Large enough to amortize per-batch overhead (duplicate aggregation,
+// top-k re-scores), small enough to keep the scratch maps cache-resident.
+const DefaultBatchSize = 4096
+
+// Workers resolves a requested worker count: values < 1 mean GOMAXPROCS.
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Cut returns the half-open range [lo, hi) of chunk i when n items are
+// split into w contiguous near-equal chunks.
+func Cut(n, w, i int) (lo, hi int) {
+	return i * n / w, (i + 1) * n / w
+}
+
+// Ingest feeds updates to sk, using the batch path when available.
+// batchSize <= 0 means DefaultBatchSize.
+func Ingest(sk Sketcher, updates []stream.Update, batchSize int) {
+	bs, ok := sk.(BatchSketcher)
+	if !ok {
+		for _, u := range updates {
+			sk.Update(u.Item, u.Delta)
+		}
+		return
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	for lo := 0; lo < len(updates); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		bs.UpdateBatch(updates[lo:hi])
+	}
+}
+
+// ParallelChunks splits updates into workers contiguous chunks and calls
+// fn(i, chunk) concurrently, one goroutine per non-empty chunk. It
+// returns after every call finishes. fn must not touch state shared with
+// other chunk indices. With workers <= 1 it calls fn(0, updates) inline.
+func ParallelChunks(updates []stream.Update, workers int, fn func(shard int, chunk []stream.Update)) {
+	if workers <= 1 || len(updates) <= 1 {
+		fn(0, updates)
+		return
+	}
+	if workers > len(updates) {
+		workers = len(updates)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := Cut(len(updates), workers, i)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, chunk []stream.Update) {
+			defer wg.Done()
+			fn(i, chunk)
+		}(i, updates[lo:hi])
+	}
+	wg.Wait()
+}
+
+// Process is the sharded ingestion harness. It partitions updates into
+// contiguous chunks, builds one shard per worker with newShard (worker 0
+// may be handed a pre-existing sketch to accumulate into), ingests every
+// chunk into its shard concurrently via Ingest, and merges shards
+// 1..W-1 into shard 0 in index order. The result is deterministic given
+// (updates, worker count, seed discipline of newShard); goroutine
+// scheduling cannot affect it.
+func Process[S Sketcher](updates []stream.Update, workers int,
+	newShard func(shard int) S, merge func(dst, src S) error) (S, error) {
+
+	w := Workers(workers)
+	if w <= 1 || len(updates) <= 1 {
+		shard := newShard(0)
+		Ingest(shard, updates, 0)
+		return shard, nil
+	}
+	if w > len(updates) {
+		w = len(updates)
+	}
+	shards := make([]S, w)
+	ParallelChunks(updates, w, func(i int, chunk []stream.Update) {
+		// Shard construction happens inside the worker too: building the
+		// hash families is itself a measurable cost at high worker counts.
+		shards[i] = newShard(i)
+		Ingest(shards[i], chunk, 0)
+	})
+	for i := 1; i < w; i++ {
+		if err := merge(shards[0], shards[i]); err != nil {
+			return shards[0], err
+		}
+	}
+	return shards[0], nil
+}

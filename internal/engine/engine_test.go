@@ -1,0 +1,180 @@
+package engine_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/heavy"
+	"repro/internal/recursive"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+// Compile-time checks that the unified Sketcher contract really does
+// unify every layer: raw sketches, the heavy-hitter layer, the recursive
+// sketch, and the public estimators.
+var (
+	_ engine.BatchSketcher = (*sketch.CountSketch)(nil)
+	_ engine.BatchSketcher = (*sketch.AMS)(nil)
+	_ engine.BatchSketcher = (*sketch.CountMin)(nil)
+	_ engine.BatchSketcher = (*heavy.OnePass)(nil)
+	_ engine.BatchSketcher = (*recursive.Sketch)(nil)
+	_ engine.BatchSketcher = (*core.OnePassEstimator)(nil)
+	_ engine.BatchSketcher = (*core.ExactEstimator)(nil)
+	_ engine.BatchSketcher = (*core.Universal)(nil)
+	_ engine.BatchSketcher = (*core.MedianOnePass)(nil)
+
+	_ engine.Estimator = (*core.OnePassEstimator)(nil)
+	_ engine.Estimator = (*core.ExactEstimator)(nil)
+	_ engine.Estimator = (*core.MedianOnePass)(nil)
+
+	_ engine.Mergeable[*sketch.CountSketch]    = (*sketch.CountSketch)(nil)
+	_ engine.Mergeable[*sketch.AMS]            = (*sketch.AMS)(nil)
+	_ engine.Mergeable[*sketch.CountMin]       = (*sketch.CountMin)(nil)
+	_ engine.Mergeable[*heavy.OnePass]         = (*heavy.OnePass)(nil)
+	_ engine.Mergeable[*recursive.Sketch]      = (*recursive.Sketch)(nil)
+	_ engine.Mergeable[*core.OnePassEstimator] = (*core.OnePassEstimator)(nil)
+	_ engine.Mergeable[*core.Universal]        = (*core.Universal)(nil)
+)
+
+func TestCutCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1 << 16} {
+		for _, w := range []int{1, 2, 3, 4, 7, 16} {
+			prev := 0
+			for i := 0; i < w; i++ {
+				lo, hi := engine.Cut(n, w, i)
+				if lo != prev {
+					t.Fatalf("n=%d w=%d chunk %d: lo=%d, want %d", n, w, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d w=%d chunk %d: hi=%d < lo=%d", n, w, i, hi, lo)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d w=%d: chunks end at %d, want %d", n, w, prev, n)
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := engine.Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := engine.Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := engine.Workers(-5); got < 1 {
+		t.Errorf("Workers(-5) = %d, want >= 1", got)
+	}
+}
+
+func testUpdates(seed uint64, n int) []stream.Update {
+	rng := util.NewSplitMix64(seed)
+	out := make([]stream.Update, n)
+	for i := range out {
+		out[i] = stream.Update{Item: rng.Uint64n(512), Delta: rng.Int63n(9) - 4}
+	}
+	return out
+}
+
+// marshal serializes a plain CountSketch's counters for bit-exact
+// comparison.
+func marshal(t *testing.T, cs *sketch.CountSketch) []byte {
+	t.Helper()
+	b, err := cs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestIngestBatchPathBitIdentical(t *testing.T) {
+	updates := testUpdates(11, 5000)
+	serial := sketch.NewCountSketch(7, 256, util.NewSplitMix64(42))
+	for _, u := range updates {
+		serial.Update(u.Item, u.Delta)
+	}
+	batched := sketch.NewCountSketch(7, 256, util.NewSplitMix64(42))
+	engine.Ingest(batched, updates, 0)
+	if !bytes.Equal(marshal(t, serial), marshal(t, batched)) {
+		t.Error("batched ingestion diverged from per-update ingestion")
+	}
+	// A second batched run with an odd batch size must also agree.
+	odd := sketch.NewCountSketch(7, 256, util.NewSplitMix64(42))
+	engine.Ingest(odd, updates, 137)
+	if !bytes.Equal(marshal(t, serial), marshal(t, odd)) {
+		t.Error("odd batch size diverged from per-update ingestion")
+	}
+}
+
+func TestProcessShardsBitIdentical(t *testing.T) {
+	updates := testUpdates(23, 20000)
+	serial := sketch.NewCountSketch(5, 512, util.NewSplitMix64(9))
+	for _, u := range updates {
+		serial.Update(u.Item, u.Delta)
+	}
+	want := marshal(t, serial)
+	for _, workers := range []int{1, 2, 4, 8} {
+		merged, err := engine.Process(updates, workers,
+			func(int) *sketch.CountSketch {
+				return sketch.NewCountSketch(5, 512, util.NewSplitMix64(9))
+			},
+			func(dst, src *sketch.CountSketch) error { return dst.Merge(src) })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(want, marshal(t, merged)) {
+			t.Errorf("workers=%d: sharded counters diverged from serial", workers)
+		}
+	}
+}
+
+func TestProcessHandsShardZeroThrough(t *testing.T) {
+	updates := testUpdates(3, 100)
+	pre := sketch.NewCountSketch(5, 64, util.NewSplitMix64(1))
+	got, err := engine.Process(updates, 1,
+		func(int) *sketch.CountSketch { return pre },
+		func(dst, src *sketch.CountSketch) error { return dst.Merge(src) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pre {
+		t.Error("Process did not accumulate into the shard-0 sketch")
+	}
+}
+
+func TestProcessMergeErrorPropagates(t *testing.T) {
+	updates := testUpdates(5, 64)
+	_, err := engine.Process(updates, 2,
+		func(shard int) *sketch.CountSketch {
+			// Different dimensions per shard force a merge failure.
+			return sketch.NewCountSketch(5, uint64(32*(shard+1)), util.NewSplitMix64(1))
+		},
+		func(dst, src *sketch.CountSketch) error { return dst.Merge(src) })
+	if err == nil {
+		t.Error("expected merge dimension error")
+	}
+}
+
+func TestParallelChunksPartition(t *testing.T) {
+	updates := testUpdates(7, 999)
+	seen := make([]int, 8)
+	var total int
+	engine.ParallelChunks(updates, 8, func(i int, chunk []stream.Update) {
+		seen[i] = len(chunk)
+	})
+	for _, n := range seen {
+		if n == 0 {
+			t.Error("empty chunk handed to a worker")
+		}
+		total += n
+	}
+	if total != len(updates) {
+		t.Errorf("chunks cover %d updates, want %d", total, len(updates))
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the paper-reproduction experiment suite
-// E1-E12 indexed in DESIGN.md. Each experiment returns a Table whose rows
+// E1-E15 indexed in DESIGN.md. Each experiment returns a Table whose rows
 // regenerate the corresponding claim of the paper; the cmd/gsum binary and
 // the root bench harness both render these tables, and EXPERIMENTS.md
 // records a reference run.
@@ -105,24 +105,42 @@ func mark(b bool) string {
 	return "MISMATCH"
 }
 
+// Runner is a named experiment that can be executed on demand.
+type Runner struct {
+	ID  string
+	Run func(quick bool) Table
+}
+
+// Runners returns the experiment registry in suite order. Unlike All it
+// does not execute anything, so callers can look up a single experiment
+// by ID and run only that one.
+func Runners() []Runner {
+	return []Runner{
+		{"E1", func(bool) Table { return E1Classification() }},
+		{"E2", E2OnePassTractable},
+		{"E3", E3TwoPassSeparation},
+		{"E4", E4IndexReduction},
+		{"E5", E5DisjIndReduction},
+		{"E6", E6ShortLinearCombination},
+		{"E7", E7NearlyPeriodic},
+		{"E8", E8ApproxMLE},
+		{"E9", E9SketchGuarantees},
+		{"E10", E10HeavyHitterRecall},
+		{"E11", E11HigherOrder},
+		{"E12", func(bool) Table { return E12LEtaTransform() }},
+		{"E13", E13DiscreteCounting},
+		{"E14", func(bool) Table { return E14MetricInstability() }},
+		{"E15", E15MajorityAmplification},
+	}
+}
+
 // All runs every experiment with default settings and returns the tables
 // in order. Heavier experiments accept a quick flag to shrink workloads.
 func All(quick bool) []Table {
-	return []Table{
-		E1Classification(),
-		E2OnePassTractable(quick),
-		E3TwoPassSeparation(quick),
-		E4IndexReduction(quick),
-		E5DisjIndReduction(quick),
-		E6ShortLinearCombination(quick),
-		E7NearlyPeriodic(quick),
-		E8ApproxMLE(quick),
-		E9SketchGuarantees(quick),
-		E10HeavyHitterRecall(quick),
-		E11HigherOrder(quick),
-		E12LEtaTransform(),
-		E13DiscreteCounting(quick),
-		E14MetricInstability(),
-		E15MajorityAmplification(quick),
+	rs := Runners()
+	out := make([]Table, len(rs))
+	for i, r := range rs {
+		out[i] = r.Run(quick)
 	}
+	return out
 }

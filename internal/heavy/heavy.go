@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/gfunc"
+	"repro/internal/stream"
 	"repro/internal/util"
 )
 
@@ -80,6 +81,14 @@ type Sketcher interface {
 	// SpaceBytes reports counter storage, the quantity the space bounds
 	// govern.
 	SpaceBytes() int
+}
+
+// BatchSketcher is a Sketcher with an amortized bulk ingestion path
+// (see internal/engine): UpdateBatch must leave the counter state
+// exactly as the equivalent sequence of Update calls would.
+type BatchSketcher interface {
+	Sketcher
+	UpdateBatch(batch []stream.Update)
 }
 
 // TwoPassSketcher is a two-pass heavy-hitter algorithm (Algorithm 1):

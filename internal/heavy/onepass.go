@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gfunc"
 	"repro/internal/sketch"
+	"repro/internal/stream"
 	"repro/internal/util"
 )
 
@@ -71,6 +72,13 @@ func NewOnePass(cfg OnePassConfig, rng *util.SplitMix64) *OnePass {
 // Update feeds one turnstile update.
 func (o *OnePass) Update(item uint64, delta int64) {
 	o.cs.Update(item, delta)
+}
+
+// UpdateBatch feeds a batch of turnstile updates through the CountSketch
+// batch path, which aggregates duplicate items and re-scores the top-k
+// tracker once per distinct item instead of once per update.
+func (o *OnePass) UpdateBatch(batch []stream.Update) {
+	o.cs.UpdateBatch(batch)
 }
 
 // ErrorWindow returns the additive frequency-error bound the pruning step

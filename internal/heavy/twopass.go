@@ -1,8 +1,11 @@
 package heavy
 
 import (
+	"fmt"
+
 	"repro/internal/gfunc"
 	"repro/internal/sketch"
+	"repro/internal/stream"
 	"repro/internal/util"
 )
 
@@ -106,6 +109,56 @@ func (t *TwoPass) Cover() Cover {
 // (16 bytes per candidate).
 func (t *TwoPass) SpaceBytes() int {
 	return t.cs.SpaceBytes() + t.topk*16
+}
+
+// Pass1Batch feeds a batch to the identification pass through the
+// CountSketch batch path.
+func (t *TwoPass) Pass1Batch(batch []stream.Update) {
+	t.cs.UpdateBatch(batch)
+}
+
+// Pass2Batch tabulates a batch in the second pass.
+func (t *TwoPass) Pass2Batch(batch []stream.Update) {
+	for _, u := range batch {
+		if _, ok := t.counts[u.Item]; ok {
+			t.counts[u.Item] += u.Delta
+		}
+	}
+}
+
+// MergePass1 folds another instance's first-pass state (same
+// configuration and seed) into t: CountSketch counters add linearly and
+// the candidate trackers merge by re-scoring against the merged
+// counters. Call before FinishPass1.
+func (t *TwoPass) MergePass1(other *TwoPass) error {
+	if t.topk != other.topk {
+		return fmt.Errorf("heavy: TwoPass merge config mismatch")
+	}
+	return t.cs.MergeTopK(other.cs)
+}
+
+// AdoptCandidates copies the candidate set extracted by from.FinishPass1
+// into t and resets the tabulation counts, so that a worker can run
+// Pass2 over its shard against the coordinator's candidate set. It
+// replaces FinishPass1 on the adopting side.
+func (t *TwoPass) AdoptCandidates(from *TwoPass) {
+	t.cands = append(t.cands[:0], from.cands...)
+	t.counts = make(map[uint64]int64, len(t.cands))
+	for _, it := range t.cands {
+		t.counts[it] = 0
+	}
+}
+
+// MergePass2 adds another instance's second-pass tabulation into t. Both
+// sides must hold the same candidate set (AdoptCandidates); exact counts
+// add linearly, so the merged tabulation equals a single pass over the
+// union stream.
+func (t *TwoPass) MergePass2(other *TwoPass) {
+	for it, c := range other.counts {
+		if _, ok := t.counts[it]; ok {
+			t.counts[it] += c
+		}
+	}
 }
 
 // RunTwoPass runs Algorithm 1 over a replayable update sequence and

@@ -1,0 +1,163 @@
+package recursive
+
+import (
+	"fmt"
+
+	"repro/internal/heavy"
+	"repro/internal/stream"
+	"repro/internal/xhash"
+)
+
+// Batch ingestion for the recursive sketch. The nested sub-universes
+// U_0 ⊇ U_1 ⊇ ... make batch routing a cascade of filters: level 0 sees
+// the whole batch and level k+1 sees the survivors of the level-k
+// subsampling hash. Survivor slices are kept per level and reused across
+// batches, so routing allocates only on the first batch.
+
+// FeedLevels routes a batch down the nested sub-universes, calling
+// feed(k, chunk) with the updates whose items belong to U_k. scratch
+// holds the per-level survivor buffers (allocated lazily, reused). It is
+// exported so that core.Universal, which carries the same subsampling
+// structure, can reuse the routing.
+func FeedLevels(batch []stream.Update, sub []*xhash.Bernoulli,
+	scratch *[][]stream.Update, feed func(level int, chunk []stream.Update)) {
+
+	if *scratch == nil {
+		*scratch = make([][]stream.Update, len(sub))
+	}
+	cur := batch
+	for k := 0; ; k++ {
+		feed(k, cur)
+		if k == len(sub) {
+			return
+		}
+		next := (*scratch)[k][:0]
+		for _, u := range cur {
+			if sub[k].Hash(u.Item) {
+				next = append(next, u)
+			}
+		}
+		(*scratch)[k] = next
+		if len(next) == 0 {
+			return
+		}
+		cur = next
+	}
+}
+
+// ingestLevel feeds a chunk to one level's sketcher, preferring its
+// batch path.
+func ingestLevel(lv heavy.Sketcher, chunk []stream.Update) {
+	if bs, ok := lv.(heavy.BatchSketcher); ok {
+		bs.UpdateBatch(chunk)
+		return
+	}
+	for _, u := range chunk {
+		lv.Update(u.Item, u.Delta)
+	}
+}
+
+// UpdateBatch feeds a batch of turnstile updates to every level whose
+// sub-universe contains each item. The counter state is identical to
+// per-update ingestion; per-level batch paths amortize the hashing.
+func (s *Sketch) UpdateBatch(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	FeedLevels(batch, s.sub, &s.scratch, func(k int, chunk []stream.Update) {
+		ingestLevel(s.levels[k], chunk)
+	})
+}
+
+// Pass1Batch feeds a batch to the identification pass at every level
+// containing each item.
+func (s *TwoPass) Pass1Batch(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	FeedLevels(batch, s.sub, &s.scratch, func(k int, chunk []stream.Update) {
+		if tp, ok := s.levels[k].(*heavy.TwoPass); ok {
+			tp.Pass1Batch(chunk)
+			return
+		}
+		for _, u := range chunk {
+			s.levels[k].Pass1(u.Item, u.Delta)
+		}
+	})
+}
+
+// Pass2Batch feeds a batch to the tabulation pass at every level
+// containing each item.
+func (s *TwoPass) Pass2Batch(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	FeedLevels(batch, s.sub, &s.scratch, func(k int, chunk []stream.Update) {
+		if tp, ok := s.levels[k].(*heavy.TwoPass); ok {
+			tp.Pass2Batch(chunk)
+			return
+		}
+		for _, u := range chunk {
+			s.levels[k].Pass2(u.Item, u.Delta)
+		}
+	})
+}
+
+// MergePass1 folds another two-pass recursive sketch's first-pass state
+// (same configuration and seed) into s, level by level. Call before
+// FinishPass1, exactly as with Sketch.Merge.
+func (s *TwoPass) MergePass1(other *TwoPass) error {
+	if len(s.levels) != len(other.levels) {
+		return fmt.Errorf("recursive: level count mismatch %d vs %d",
+			len(s.levels), len(other.levels))
+	}
+	for k := range s.levels {
+		a, okA := s.levels[k].(*heavy.TwoPass)
+		b, okB := other.levels[k].(*heavy.TwoPass)
+		if !okA || !okB {
+			return fmt.Errorf("recursive: level %d sketcher does not support pass-1 merging", k)
+		}
+		if err := a.MergePass1(b); err != nil {
+			return fmt.Errorf("recursive: level %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// AdoptCandidates copies the per-level candidate sets extracted by
+// from.FinishPass1 into s (replacing FinishPass1 on the adopting side),
+// so a worker can tabulate its shard against the coordinator's
+// candidates.
+func (s *TwoPass) AdoptCandidates(from *TwoPass) error {
+	if len(s.levels) != len(from.levels) {
+		return fmt.Errorf("recursive: level count mismatch %d vs %d",
+			len(s.levels), len(from.levels))
+	}
+	for k := range s.levels {
+		a, okA := s.levels[k].(*heavy.TwoPass)
+		b, okB := from.levels[k].(*heavy.TwoPass)
+		if !okA || !okB {
+			return fmt.Errorf("recursive: level %d sketcher does not support candidate adoption", k)
+		}
+		a.AdoptCandidates(b)
+	}
+	return nil
+}
+
+// MergePass2 adds another sketch's second-pass tabulations into s; both
+// sides must hold the same candidate sets (AdoptCandidates).
+func (s *TwoPass) MergePass2(other *TwoPass) error {
+	if len(s.levels) != len(other.levels) {
+		return fmt.Errorf("recursive: level count mismatch %d vs %d",
+			len(s.levels), len(other.levels))
+	}
+	for k := range s.levels {
+		a, okA := s.levels[k].(*heavy.TwoPass)
+		b, okB := other.levels[k].(*heavy.TwoPass)
+		if !okA || !okB {
+			return fmt.Errorf("recursive: level %d sketcher does not support pass-2 merging", k)
+		}
+		a.MergePass2(b)
+	}
+	return nil
+}

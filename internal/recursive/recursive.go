@@ -23,6 +23,7 @@ package recursive
 
 import (
 	"repro/internal/heavy"
+	"repro/internal/stream"
 	"repro/internal/util"
 	"repro/internal/xhash"
 )
@@ -40,8 +41,9 @@ type Config struct {
 
 // Sketch is a one-pass recursive g-SUM sketch.
 type Sketch struct {
-	levels []heavy.Sketcher
-	sub    []*xhash.Bernoulli // sub[k] gates membership of U_{k+1} within U_k
+	levels  []heavy.Sketcher
+	sub     []*xhash.Bernoulli // sub[k] gates membership of U_{k+1} within U_k
+	scratch [][]stream.Update  // reusable UpdateBatch survivor buffers
 }
 
 // New returns a fresh recursive sketch.

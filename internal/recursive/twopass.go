@@ -2,6 +2,7 @@ package recursive
 
 import (
 	"repro/internal/heavy"
+	"repro/internal/stream"
 	"repro/internal/util"
 	"repro/internal/xhash"
 )
@@ -18,8 +19,9 @@ type TwoPassConfig struct {
 // replayed once for candidate identification and once for exact
 // tabulation, at every level.
 type TwoPass struct {
-	levels []heavy.TwoPassSketcher
-	sub    []*xhash.Bernoulli
+	levels  []heavy.TwoPassSketcher
+	sub     []*xhash.Bernoulli
+	scratch [][]stream.Update // reusable batch survivor buffers
 }
 
 // NewTwoPass returns a fresh two-pass recursive sketch.

@@ -1,0 +1,161 @@
+package sketch
+
+import "repro/internal/stream"
+
+// Batch ingestion paths. Every sketch here is linear in the frequency
+// vector, so updates to the same item within a batch collapse into a
+// single counter touch per row: aggregate the batch into (distinct item,
+// net delta) pairs first, then walk the rows. For heavy-tailed streams
+// (the Zipf workloads of the experiments) this removes most of the hash
+// evaluations on the hot path; for streams of distinct items it costs one
+// map pass. The counter state after UpdateBatch is bit-identical to the
+// equivalent sequence of Update calls.
+
+// batchAgg is reusable scratch for duplicate aggregation: net deltas by
+// item plus the items in first-seen order (deterministic iteration).
+type batchAgg struct {
+	delta map[uint64]int64
+	order []uint64
+	// Hash-reuse scratch for the tracked CountSketch batch path: per-row
+	// bucket indices and signs (hs, ss) and the per-(item, row) estimate
+	// matrix (ests), so the post-batch re-score reads settled counters
+	// without re-hashing.
+	hs   []uint64
+	ss   []int64
+	ests []int64
+}
+
+// collapse aggregates the batch, preserving first-seen item order.
+func (a *batchAgg) collapse(batch []stream.Update) {
+	if a.delta == nil {
+		a.delta = make(map[uint64]int64, len(batch))
+	}
+	a.order = a.order[:0]
+	for _, u := range batch {
+		if _, seen := a.delta[u.Item]; !seen {
+			a.order = append(a.order, u.Item)
+		}
+		a.delta[u.Item] += u.Delta
+	}
+}
+
+// reset clears the scratch for the next batch.
+func (a *batchAgg) reset() {
+	clear(a.delta)
+	a.order = a.order[:0]
+}
+
+// UpdateBatch processes a batch of turnstile updates. The counter state
+// equals the one reached by calling Update for each element in order;
+// the top-k tracker (when present) is refreshed once per distinct item
+// against the post-batch counters instead of once per update.
+func (cs *CountSketch) UpdateBatch(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	cs.agg.collapse(batch)
+	order := cs.agg.order
+	if cs.topK == nil {
+		for j := 0; j < cs.rows; j++ {
+			counts, bucket, sign := cs.counts[j], cs.bucket[j], cs.sign[j]
+			for _, it := range order {
+				if d := cs.agg.delta[it]; d != 0 {
+					counts[bucket.Hash(it)] += sign.Hash(it) * d
+				}
+			}
+		}
+		cs.agg.reset()
+		return
+	}
+	// Tracked sketch: every distinct item gets re-scored after the batch,
+	// which needs the same (bucket, sign) hashes as the counter update.
+	// Hash each (row, item) pair ONCE: remember the pair while applying
+	// row j, then read the settled row back into the estimate matrix. A
+	// row is fully updated before it is read, so the matrix holds exactly
+	// what Estimate would recompute — median it per item and offer.
+	if cap(cs.agg.hs) < len(order) {
+		cs.agg.hs = make([]uint64, len(order))
+		cs.agg.ss = make([]int64, len(order))
+	}
+	if cap(cs.agg.ests) < len(order)*cs.rows {
+		cs.agg.ests = make([]int64, len(order)*cs.rows)
+	}
+	hs, ss, ests := cs.agg.hs[:len(order)], cs.agg.ss[:len(order)], cs.agg.ests[:len(order)*cs.rows]
+	for j := 0; j < cs.rows; j++ {
+		counts, bucket, sign := cs.counts[j], cs.bucket[j], cs.sign[j]
+		for i, it := range order {
+			h, s := bucket.Hash(it), sign.Hash(it)
+			hs[i], ss[i] = h, s
+			if d := cs.agg.delta[it]; d != 0 {
+				counts[h] += s * d
+			}
+		}
+		for i := range order {
+			ests[i*cs.rows+j] = ss[i] * counts[hs[i]]
+		}
+	}
+	for i, it := range order {
+		row := ests[i*cs.rows : (i+1)*cs.rows]
+		// Insertion sort, as in Estimate: rows are O(log n), typically < 20.
+		for a := 1; a < len(row); a++ {
+			for b := a; b > 0 && row[b] < row[b-1]; b-- {
+				row[b], row[b-1] = row[b-1], row[b]
+			}
+		}
+		cs.topK.offer(it, row[len(row)/2])
+	}
+	cs.agg.reset()
+}
+
+// UpdateBatch processes a batch of turnstile updates; the counter state
+// is bit-identical to per-update ingestion.
+func (a *AMS) UpdateBatch(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	a.agg.collapse(batch)
+	for g := 0; g < a.groups; g++ {
+		for r := 0; r < a.reps; r++ {
+			z, sign := a.z[g], a.sign[g][r]
+			for _, it := range a.agg.order {
+				if d := a.agg.delta[it]; d != 0 {
+					z[r] += sign.Hash(it) * d
+				}
+			}
+		}
+	}
+	a.agg.reset()
+}
+
+// UpdateBatch processes a batch of turnstile updates; the counter state
+// is bit-identical to per-update ingestion.
+func (cm *CountMin) UpdateBatch(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	cm.agg.collapse(batch)
+	for j := 0; j < cm.rows; j++ {
+		counts, bucket := cm.counts[j], cm.bucket[j]
+		for _, it := range cm.agg.order {
+			if d := cm.agg.delta[it]; d != 0 {
+				counts[bucket.Hash(it)] += d
+			}
+		}
+	}
+	cm.agg.reset()
+}
+
+// Merge adds the counters of other into cm. Dimensions must match;
+// callers are responsible for seed discipline (same hash functions), as
+// with CountSketch.Merge.
+func (cm *CountMin) Merge(other *CountMin) error {
+	if cm.rows != other.rows || cm.buckets != other.buckets {
+		return errDimension("CountMin", cm.rows*int(cm.buckets), other.rows*int(other.buckets))
+	}
+	for j := 0; j < cm.rows; j++ {
+		for i := range cm.counts[j] {
+			cm.counts[j][i] += other.counts[j][i]
+		}
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ type CountSketch struct {
 	// seen so far, giving one-pass candidate extraction without a domain
 	// scan. It is sized by NewCountSketchTopK.
 	topK *topTracker
+	agg  batchAgg // reusable UpdateBatch scratch; sketches are not goroutine-safe
 }
 
 // NewCountSketch returns a CountSketch with r rows and b buckets, drawing

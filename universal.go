@@ -20,8 +20,14 @@
 //     queries for whole function families (the §1.1.1 MLE application).
 //
 // Everything is deterministic given a seed, uses only the standard
-// library, and is exercised end to end by the E1-E12 experiment suite
+// library, and is exercised end to end by the E1-E15 experiment suite
 // (internal/experiments, cmd/gsum) documented in EXPERIMENTS.md.
+//
+// Ingestion is batched and shardable: every estimator implements the
+// Sketcher/BatchSketcher contracts of internal/engine, and
+// NewParallelEstimator (or est.ProcessParallel) partitions a stream
+// across worker-owned shards that merge by linearity, so worker count
+// never changes the counters.
 //
 // # Quick start
 //
@@ -38,6 +44,7 @@ package universal
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gfunc"
 	"repro/internal/stream"
 )
@@ -151,3 +158,23 @@ func NewExactEstimator(g Func) *ExactEstimator { return core.NewExact(g) }
 // NewUniversalSketch builds a function-independent sketch; set
 // opts.Envelope to the max envelope of the functions you will query.
 func NewUniversalSketch(opts Options) *UniversalSketch { return core.NewUniversal(opts) }
+
+// Sketcher is the unified ingestion contract every estimator and raw
+// sketch in this repository satisfies (see internal/engine).
+type Sketcher = engine.Sketcher
+
+// BatchSketcher is a Sketcher with an amortized bulk ingestion path:
+// UpdateBatch leaves the counter state exactly as the equivalent
+// sequence of Update calls would.
+type BatchSketcher = engine.BatchSketcher
+
+// ParallelEstimator is a one-pass estimator whose Process shards the
+// stream across worker-owned sketches and merges them by linearity; the
+// result is identical to a serial run with the same seed.
+type ParallelEstimator = core.ParallelEstimator
+
+// NewParallelEstimator builds the sharded, batched, concurrent front end
+// of the one-pass estimator. workers < 1 means GOMAXPROCS.
+func NewParallelEstimator(g Func, opts Options, workers int) *ParallelEstimator {
+	return core.NewParallel(g, opts, workers)
+}
