@@ -411,3 +411,67 @@ func BenchmarkAblationWidth(b *testing.B) {
 		})
 	}
 }
+
+// --- regression-gated process benchmarks (scripts/benchdiff) --------------
+
+// The BenchmarkProcess* family is the CI performance gate: the bench job
+// runs exactly these, and scripts/benchdiff fails the build when any
+// ns/op regresses by more than 2x against the committed
+// BENCH_baseline.json. Keep them small enough for -benchtime=3x runs and
+// deterministic (fixed stream, fixed seeds).
+
+// processBenchStream is a 128k-update skewed insertion stream, large
+// enough to exercise batching and sharding, small enough for CI.
+func processBenchStream() *stream.Stream { return ingestBenchStream(1 << 17) }
+
+func processBenchOpts(s *Stream) core.Options {
+	return core.Options{N: s.N(), M: 1 << 10, Eps: 0.25, Seed: 7, Lambda: 1.0 / 16}
+}
+
+// BenchmarkProcessSerial is the batched serial ingestion hot path.
+func BenchmarkProcessSerial(b *testing.B) {
+	g := gfunc.F2Func()
+	s := processBenchStream()
+	opts := processBenchOpts(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := core.NewOnePass(g, opts)
+		e.Process(s)
+	}
+}
+
+// BenchmarkProcessParallel is the sharded 4-worker engine.
+func BenchmarkProcessParallel(b *testing.B) {
+	g := gfunc.F2Func()
+	s := processBenchStream()
+	opts := processBenchOpts(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := core.NewOnePass(g, opts)
+		if err := e.ProcessParallel(s, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcessSnapshotMerge is the distributed hot path: marshal a
+// worker estimator and fold it into a coordinator via the wire format.
+func BenchmarkProcessSnapshotMerge(b *testing.B) {
+	g := gfunc.F2Func()
+	s := processBenchStream()
+	opts := processBenchOpts(s)
+	worker := core.NewOnePass(g, opts)
+	worker.Process(s)
+	data, err := worker.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord := core.NewOnePass(g, opts)
+		if err := coord.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,8 @@
 //	gsum estimate -workers 8      ... with sharded parallel ingestion
 //	gsum experiments [-quick]     run the full E1-E15 experiment suite
 //	gsum experiments -run E4      run a single experiment
+//	gsum push [flags]             push a stream shard to a gsumd daemon
+//	gsum query [flags]            query a gsumd daemon's estimate
 //
 // Every run is deterministic given -seed (and, for estimate, -workers:
 // the sharded engine merges by linearity, so worker count does not
@@ -13,13 +15,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 
+	"repro/internal/cliflag"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gfunc"
@@ -46,6 +53,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return runEstimate(argv[1:], stdout, stderr)
 	case "experiments":
 		return runExperiments(argv[1:], stdout, stderr)
+	case "push":
+		return runPush(argv[1:], stdout, stderr)
+	case "query":
+		return runQuery(argv[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -61,6 +72,8 @@ func usage(w io.Writer) {
   gsum classify [-f name] [-m max]    zero-one-law classification
   gsum estimate [flags]               estimate g-SUM on a generated stream
   gsum experiments [-quick] [-run E#] reproduce the paper's experiments
+  gsum push -addr URL [flags]         push a stream shard to a gsumd daemon
+  gsum query -addr URL [flags]        query a gsumd daemon's estimate
 `)
 }
 
@@ -77,8 +90,8 @@ func runClassify(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	name := fs.String("f", "", "classify only the named catalog function")
 	m := fs.Uint64("m", 1<<20, "witness search range [1, m]")
-	if err := fs.Parse(args); err != nil {
-		return 2
+	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
+		return code
 	}
 
 	cfg := gfunc.DefaultCheckConfig()
@@ -122,8 +135,8 @@ func runEstimate(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "random seed")
 	passes := fs.Int("passes", 1, "1 or 2 passes")
 	workers := fs.Int("workers", 1, "ingestion workers (0 = GOMAXPROCS, 1 = serial)")
-	if err := fs.Parse(args); err != nil {
-		return 2
+	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
+		return code
 	}
 
 	g, ok := catalogByName()[*fname]
@@ -182,8 +195,8 @@ func runExperiments(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "shrink workloads for a fast pass")
 	run := fs.String("run", "", "run a single experiment, e.g. E4")
-	if err := fs.Parse(args); err != nil {
-		return 2
+	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
+		return code
 	}
 
 	if *run != "" {
@@ -201,5 +214,103 @@ func runExperiments(args []string, stdout, stderr io.Writer) int {
 	for _, t := range experiments.All(*quick) {
 		t.Render(stdout)
 	}
+	return 0
+}
+
+// runPush generates the canonical seeded Zipf stream and pushes one
+// contiguous shard of it to a gsumd daemon — the worker half of the
+// two-terminal walkthrough in the README. Every worker in a deployment
+// runs the same command with a different -shard index; together they
+// cover the stream exactly once.
+func runPush(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("push", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:7600", "gsumd base URL")
+	n := fs.Uint64("n", 1<<12, "domain size")
+	m := fs.Int64("m", 1<<10, "max |frequency|")
+	items := fs.Int("items", 90, "distinct items")
+	alpha := fs.Float64("alpha", 1.1, "zipf exponent")
+	seed := fs.Uint64("seed", 1, "stream seed (same on every worker)")
+	shard := fs.Int("shard", 0, "this worker's shard index")
+	of := fs.Int("of", 1, "total number of shards")
+	batch := fs.Int("batch", engine.DefaultBatchSize, "updates per HTTP request")
+	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
+		return code
+	}
+	if *of < 1 || *shard < 0 || *shard >= *of {
+		fmt.Fprintf(stderr, "gsum push: need 0 <= shard < of, got shard=%d of=%d\n", *shard, *of)
+		return 2
+	}
+	if *batch < 1 {
+		fmt.Fprintln(stderr, "gsum push: -batch must be positive")
+		return 2
+	}
+
+	s := stream.Zipf(stream.GenConfig{N: *n, M: *m, Seed: *seed}, *items, *alpha)
+	updates := s.Updates()
+	lo, hi := engine.Cut(len(updates), *of, *shard)
+	chunk := updates[lo:hi]
+
+	c := daemon.NewClient(*addr, nil)
+	for b := 0; b < len(chunk); b += *batch {
+		e := b + *batch
+		if e > len(chunk) {
+			e = len(chunk)
+		}
+		if err := c.Push(chunk[b:e]); err != nil {
+			fmt.Fprintf(stderr, "gsum push: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "pushed %d updates (shard %d/%d of a %d-update stream) to %s\n",
+		len(chunk), *shard, *of, len(updates), *addr)
+	return 0
+}
+
+// runQuery asks a gsumd daemon for its estimate, optionally pulling and
+// merging worker snapshots first (the coordinator half of the
+// walkthrough).
+func runQuery(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:7600", "gsumd base URL (the coordinator)")
+	gname := fs.String("g", "", "catalog function for universal-backend queries")
+	item := fs.String("item", "", "item id for countsketch point queries")
+	pull := fs.String("pull", "", "comma-separated worker URLs to snapshot+merge before querying")
+	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
+		return code
+	}
+
+	c := daemon.NewClient(*addr, nil)
+	if *pull != "" {
+		workers := strings.Split(*pull, ",")
+		if err := c.PullFrom(workers); err != nil {
+			fmt.Fprintf(stderr, "gsum query: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "merged %d worker snapshot(s) into %s\n", len(workers), *addr)
+	}
+	params := url.Values{}
+	if *gname != "" {
+		params.Set("g", *gname)
+	}
+	if *item != "" {
+		if _, err := strconv.ParseUint(*item, 10, 64); err != nil {
+			fmt.Fprintf(stderr, "gsum query: bad -item %q\n", *item)
+			return 2
+		}
+		params.Set("item", *item)
+	}
+	resp, err := c.Estimate(params)
+	if err != nil {
+		fmt.Fprintf(stderr, "gsum query: %v\n", err)
+		return 1
+	}
+	out, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "gsum query: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, string(out))
 	return 0
 }

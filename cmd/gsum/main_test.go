@@ -2,8 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/gfunc"
+	"repro/internal/stream"
 )
 
 // The CLI is exercised through run(), the testable entry point: every
@@ -145,5 +153,102 @@ func TestExperimentsUnknown(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "unknown experiment") {
 		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+func TestUnknownSubcommandFlagFailsWithUsage(t *testing.T) {
+	for _, sub := range []string{"classify", "estimate", "experiments", "push", "query"} {
+		_, stderr, code := gsum(t, sub, "-bogus")
+		if code != 2 {
+			t.Errorf("%s -bogus: exit code %d, want 2", sub, code)
+		}
+		if !strings.Contains(stderr, "bogus") {
+			t.Errorf("%s -bogus: stderr %q does not name the flag", sub, stderr)
+		}
+		if !strings.Contains(stderr, "-") || len(stderr) < 40 {
+			t.Errorf("%s -bogus: stderr %q missing flag usage listing", sub, stderr)
+		}
+	}
+}
+
+func TestSubcommandHelpExitsZero(t *testing.T) {
+	for _, sub := range []string{"classify", "estimate", "experiments", "push", "query"} {
+		_, _, code := gsum(t, sub, "-h")
+		if code != 0 {
+			t.Errorf("%s -h: exit code %d, want 0", sub, code)
+		}
+	}
+}
+
+func TestStrayPositionalArgumentsRejected(t *testing.T) {
+	_, stderr, code := gsum(t, "estimate", "junk")
+	if code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unexpected arguments") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+func TestPushValidatesShardBounds(t *testing.T) {
+	_, stderr, code := gsum(t, "push", "-shard", "3", "-of", "2")
+	if code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "shard") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+func TestPushQueryAgainstDaemon(t *testing.T) {
+	// Full worker -> coordinator round trip through the real CLI code
+	// paths: two workers absorb disjoint shards, the coordinator pulls
+	// and answers, and the answer matches a single-process run exactly.
+	cfg := daemon.Config{Backend: "onepass", G: "x^2", N: 1 << 12, M: 1 << 10,
+		Eps: 0.25, Seed: 42, Lambda: 1.0 / 16}
+	mk := func() *httptest.Server {
+		srv, err := daemon.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	w1, w2, coord := mk(), mk(), mk()
+
+	for i, w := range []*httptest.Server{w1, w2} {
+		stdout, stderr, code := gsum(t, "push", "-addr", w.URL,
+			"-seed", "7", "-shard", fmt.Sprint(i), "-of", "2")
+		if code != 0 {
+			t.Fatalf("push shard %d: exit %d, stderr %s", i, code, stderr)
+		}
+		if !strings.Contains(stdout, "pushed") {
+			t.Errorf("push shard %d stdout: %q", i, stdout)
+		}
+	}
+	stdout, stderr, code := gsum(t, "query", "-addr", coord.URL,
+		"-pull", w1.URL+","+w2.URL)
+	if code != 0 {
+		t.Fatalf("query: exit %d, stderr %s", code, stderr)
+	}
+
+	serial := core.NewOnePass(gfunc.F2Func(), core.Options{
+		N: 1 << 12, M: 1 << 10, Eps: 0.25, Seed: 42, Lambda: 1.0 / 16})
+	serial.Process(stream.Zipf(stream.GenConfig{N: 1 << 12, M: 1 << 10, Seed: 7}, 90, 1.1))
+
+	// The query prints a merge banner followed by the JSON response.
+	brace := strings.Index(stdout, "{")
+	if brace < 0 {
+		t.Fatalf("query output has no JSON object: %q", stdout)
+	}
+	var resp struct {
+		Estimate float64 `json:"estimate"`
+	}
+	if err := json.Unmarshal([]byte(stdout[brace:]), &resp); err != nil {
+		t.Fatalf("query output %q: %v", stdout, err)
+	}
+	if resp.Estimate != serial.Estimate() {
+		t.Errorf("distributed estimate %.17g != serial %.17g", resp.Estimate, serial.Estimate())
 	}
 }

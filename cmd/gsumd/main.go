@@ -1,0 +1,81 @@
+// Command gsumd is the distributed g-SUM aggregation daemon: one sketch
+// backend behind an HTTP surface (see internal/daemon for the API).
+//
+//	gsumd -backend onepass -f x^2 -n 4096 -m 1024 -seed 42 -addr :7600
+//
+// Deployment topology: run one gsumd per traffic shard (workers) and one
+// for queries (coordinator), all with IDENTICAL flags except -addr. Push
+// updates to the workers (gsum push), then fold worker snapshots into
+// the coordinator (gsum query -pull, or POST each worker's /v1/snapshot
+// body to the coordinator's /v1/merge). Because the sketches are linear
+// and seeded identically, the coordinator's estimate equals the
+// single-machine estimate over the whole stream — exactly, not
+// approximately. The wire format's fingerprint makes configuration drift
+// a 409 error instead of silent garbage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/cliflag"
+	"repro/internal/daemon"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// serve is stubbed by tests; it blocks until the listener dies.
+var serve = func(l net.Listener, h http.Handler) error {
+	return http.Serve(l, h)
+}
+
+// run parses flags, builds the daemon, and serves. It returns the
+// process exit code instead of calling os.Exit, so tests can drive it.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gsumd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7600", "listen address")
+	backend := fs.String("backend", "onepass", "countsketch | heavy | onepass | universal")
+	fname := fs.String("f", "x^2", "catalog function (heavy/onepass; default query for universal)")
+	n := fs.Uint64("n", 1<<12, "domain size")
+	m := fs.Int64("m", 1<<10, "max |frequency|")
+	eps := fs.Float64("eps", 0.25, "target accuracy")
+	delta := fs.Float64("delta", 0.2, "failure probability")
+	lambda := fs.Float64("lambda", 0, "heaviness (0 = Theorem 13 default)")
+	seed := fs.Uint64("seed", 1, "root seed; must match across daemons that merge")
+	envelope := fs.Float64("envelope", 0, "envelope H(M) for the universal backend (0 = measure from -f)")
+	rows := fs.Int("rows", 0, "countsketch rows (0 = default 5)")
+	buckets := fs.Uint64("buckets", 0, "countsketch buckets (0 = default 1024)")
+	topk := fs.Int("topk", 0, "countsketch tracked candidates (0 = no tracker)")
+	if code, ok := cliflag.Parse(fs, argv, stderr); !ok {
+		return code
+	}
+
+	srv, err := daemon.NewServer(daemon.Config{
+		Backend: *backend, G: *fname, N: *n, M: *m,
+		Eps: *eps, Delta: *delta, Lambda: *lambda, Seed: *seed,
+		Envelope: *envelope, Rows: *rows, Buckets: *buckets, TopK: *topk,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "gsumd: %v\n", err)
+		return 1
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "gsumd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gsumd: backend=%s g=%s seed=%d listening on %s\n",
+		*backend, *fname, *seed, l.Addr())
+	if err := serve(l, srv.Handler()); err != nil {
+		fmt.Fprintf(stderr, "gsumd: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// stubServe replaces the blocking serve loop and captures the handler.
+func stubServe(t *testing.T) *http.Handler {
+	t.Helper()
+	orig := serve
+	var got http.Handler
+	serve = func(l net.Listener, h http.Handler) error {
+		got = h
+		l.Close()
+		return nil
+	}
+	t.Cleanup(func() { serve = orig })
+	return &got
+}
+
+func TestRunServesOnEphemeralPort(t *testing.T) {
+	h := stubServe(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-addr", "127.0.0.1:0", "-backend", "onepass", "-f", "x^2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if *h == nil {
+		t.Fatal("serve was not reached")
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Errorf("missing listen banner: %q", out.String())
+	}
+}
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-backend", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown backend") {
+		t.Errorf("stderr %q does not name the bad backend", errb.String())
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bogus") {
+		t.Errorf("stderr %q does not name the bad flag", errb.String())
+	}
+}
+
+func TestRunRejectsStrayArguments(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"extra"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unexpected arguments") {
+		t.Errorf("stderr %q does not flag the stray argument", errb.String())
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exit %d, want 0", code)
+	}
+}

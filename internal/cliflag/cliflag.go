@@ -1,0 +1,33 @@
+// Package cliflag centralizes subcommand flag parsing for the cmd/
+// binaries, so -h, unknown flags, and stray positional arguments behave
+// identically everywhere: -h prints the defaults and exits 0; an
+// unknown flag or an unexpected positional argument prints a usage
+// message and exits 2 — never a silent fall-through.
+package cliflag
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Parse runs fs (which must use flag.ContinueOnError with its output
+// set to stderr) over args. The boolean reports whether the caller
+// should proceed; when false, code is the process exit status.
+func Parse(fs *flag.FlagSet, args []string, stderr io.Writer) (code int, ok bool) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, false
+		}
+		// The flag package already printed the offending flag and the
+		// defaults to fs's output.
+		return 2, false
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "%s: unexpected arguments: %v\n", fs.Name(), fs.Args())
+		fs.Usage()
+		return 2, false
+	}
+	return 0, true
+}

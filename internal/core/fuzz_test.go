@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gfunc"
+)
+
+func fuzzOpts() Options {
+	return Options{N: 64, M: 16, Eps: 0.5, Seed: 9, Lambda: 0.25, Levels: 2}
+}
+
+func addSeeds(f *testing.F, valid []byte) {
+	f.Add(valid)
+	for _, cut := range []int{0, 3, 13, 14, 18, 60, len(valid) - 1} {
+		if cut >= 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[0] ^= 0xff
+	f.Add(corrupt)
+	corrupt2 := append([]byte(nil), valid...)
+	corrupt2[len(corrupt2)/2] ^= 0x55
+	f.Add(corrupt2)
+}
+
+func FuzzOnePassEstimatorUnmarshal(f *testing.F) {
+	src := NewOnePass(gfunc.F2Func(), fuzzOpts())
+	src.Update(5, 3)
+	valid, err := src.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	addSeeds(f, valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewOnePass(gfunc.F2Func(), fuzzOpts())
+		_ = e.UnmarshalBinary(data) // must not panic
+	})
+}
+
+func FuzzTwoPassEstimatorUnmarshal(f *testing.F) {
+	src := NewTwoPass(gfunc.F2Func(), fuzzOpts())
+	src.Pass1(5, 3)
+	src.FinishPass1()
+	src.Pass2(5, 3)
+	valid, err := src.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	addSeeds(f, valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewTwoPass(gfunc.F2Func(), fuzzOpts())
+		_ = e.UnmarshalBinary(data)     // must not panic
+		_ = e.UnmarshalCandidates(data) // must not panic
+	})
+}
+
+func FuzzUniversalUnmarshal(f *testing.F) {
+	opts := fuzzOpts()
+	opts.Envelope = 2
+	src := NewUniversal(opts)
+	src.Update(5, 3)
+	valid, err := src.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	addSeeds(f, valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u := NewUniversal(opts)
+		_ = u.UnmarshalBinary(data) // must not panic
+	})
+}
+
+func FuzzOffsetEstimatorUnmarshal(f *testing.F) {
+	g0 := gfunc.NewG0("1+x", func(x uint64) float64 { return 1 + float64(x) })
+	src := NewOffsetEstimator(g0, fuzzOpts())
+	src.Update(5, 3)
+	valid, err := src.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	addSeeds(f, valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewOffsetEstimator(g0, fuzzOpts())
+		_ = e.UnmarshalBinary(data) // must not panic
+	})
+}
+
+func FuzzMedianOnePassUnmarshal(f *testing.F) {
+	src := NewMedianOnePass(gfunc.F2Func(), fuzzOpts(), 3)
+	src.Update(5, 3)
+	valid, err := src.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	addSeeds(f, valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := NewMedianOnePass(gfunc.F2Func(), fuzzOpts(), 3)
+		_ = m.UnmarshalBinary(data) // must not panic
+	})
+}

@@ -1,0 +1,152 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Client talks to one gsumd daemon. The zero HTTP client is fine for the
+// walkthrough scale; callers needing timeouts pass their own.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7600"). httpClient nil means http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// decodeError surfaces the daemon's JSON error body.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("daemon: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("daemon: %s", resp.Status)
+}
+
+// Push sends a batch of updates to /v1/ingest.
+func (c *Client) Push(updates []stream.Update) error {
+	req := IngestRequest{Updates: make([][2]int64, len(updates))}
+	for i, u := range updates {
+		req.Updates[i] = [2]int64{int64(u.Item), u.Delta}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Snapshot fetches the daemon's serialized sketch state.
+func (c *Client) Snapshot() ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/v1/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	// Read one byte past the cap so an oversize snapshot is detected
+	// rather than silently truncated into a corrupt partial payload.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxBodyBytes {
+		return nil, fmt.Errorf("daemon: snapshot exceeds %d bytes", maxBodyBytes)
+	}
+	return data, nil
+}
+
+// Merge ships a serialized shard sketch to /v1/merge.
+func (c *Client) Merge(snapshot []byte) error {
+	resp, err := c.hc.Post(c.base+"/v1/merge", "application/octet-stream", bytes.NewReader(snapshot))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// PullFrom fetches a snapshot from every worker daemon and merges it
+// into the daemon this client points at — the coordinator side of the
+// scatter-gather aggregation.
+func (c *Client) PullFrom(workers []string) error {
+	for _, w := range workers {
+		snap, err := NewClient(w, c.hc).Snapshot()
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", w, err)
+		}
+		if err := c.Merge(snap); err != nil {
+			return fmt.Errorf("worker %s: %w", w, err)
+		}
+	}
+	return nil
+}
+
+// Estimate queries /v1/estimate with the given parameters and returns
+// the decoded JSON object.
+func (c *Client) Estimate(params url.Values) (map[string]interface{}, error) {
+	u := c.base + "/v1/estimate"
+	if enc := params.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Config fetches the daemon's configuration.
+func (c *Client) Config() (Config, error) {
+	resp, err := c.hc.Get(c.base + "/v1/config")
+	if err != nil {
+		return Config{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Config{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var cfg Config
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&cfg); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,409 @@
+// Package daemon implements gsumd, the distributed g-SUM aggregation
+// service: an HTTP daemon (stdlib net/http only) wrapping one sketch
+// backend. Because every backend is a linear sketch with a checked wire
+// format, N worker daemons ingesting disjoint shards of a stream and one
+// coordinator daemon merging their snapshots reproduce the single-machine
+// estimate exactly — same seed, same bytes.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/ingest    JSON {"updates": [[item, delta], ...]} — batched
+//	                   turnstile updates, routed through internal/engine.
+//	GET  /v1/snapshot  the serialized sketch state (application/octet-stream).
+//	POST /v1/merge     a serialized shard sketch to fold in (the body is a
+//	                   /v1/snapshot payload from a worker with the same
+//	                   configuration and seed; the fingerprint is checked).
+//	GET  /v1/estimate  the backend's estimate as JSON; parameters depend
+//	                   on the backend (?g=<name> for universal, ?item=<id>
+//	                   for countsketch point queries).
+//	GET  /v1/config    the daemon's configuration (sanity check that two
+//	                   daemons can merge before shipping counters).
+//	GET  /healthz      liveness.
+//
+// The deployment topology mirrors the cmd/server + cmd/worker split of
+// distributed work-queue systems: workers sit close to the traffic and
+// absorb updates; the coordinator owns the query surface.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gfunc"
+	"repro/internal/heavy"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+// maxBodyBytes caps request bodies (ingest batches and shard snapshots).
+const maxBodyBytes = 64 << 20
+
+// Config selects and parameterizes a backend. The same Config (and Seed)
+// must be given to every daemon that participates in one aggregation.
+type Config struct {
+	// Backend is one of "countsketch", "heavy", "onepass", "universal".
+	Backend string `json:"backend"`
+	// G names the catalog function (heavy and onepass backends; ignored
+	// by countsketch; the default query function for universal).
+	G string `json:"g,omitempty"`
+	// N, M, Eps, Delta, Lambda, Seed parameterize the sketches exactly as
+	// core.Options (estimator backends) or the raw dimensions below
+	// (countsketch).
+	N      uint64  `json:"n"`
+	M      int64   `json:"m"`
+	Eps    float64 `json:"eps,omitempty"`
+	Delta  float64 `json:"delta,omitempty"`
+	Lambda float64 `json:"lambda,omitempty"`
+	Seed   uint64  `json:"seed"`
+	// Envelope sizes the universal backend (max H(M) over the query
+	// family); 0 measures it from G when set, else falls back to 1.
+	Envelope float64 `json:"envelope,omitempty"`
+	// Rows/Buckets/TopK size the countsketch backend directly.
+	Rows    int    `json:"rows,omitempty"`
+	Buckets uint64 `json:"buckets,omitempty"`
+	TopK    int    `json:"topk,omitempty"`
+}
+
+// backend is one mergeable sketch behind the HTTP surface.
+type backend interface {
+	ingest(batch []stream.Update)
+	snapshot() ([]byte, error)
+	merge(data []byte) error
+	estimate(q url.Values) (interface{}, error)
+	spaceBytes() int
+}
+
+// Server wraps a backend with the gsumd HTTP surface. Sketches are not
+// goroutine-safe, so a mutex serializes state access; HTTP handlers are
+// otherwise stateless.
+type Server struct {
+	mu      sync.Mutex
+	cfg     Config
+	be      backend
+	ingests uint64 // total updates absorbed, for /v1/config introspection
+}
+
+// catalogFunc resolves a catalog function by name.
+func catalogFunc(name string) (gfunc.Func, error) {
+	for _, e := range gfunc.Catalog() {
+		if e.Func.Name() == name {
+			return e.Func, nil
+		}
+	}
+	return nil, fmt.Errorf("daemon: unknown catalog function %q", name)
+}
+
+// options maps Config onto core.Options.
+func (c Config) options() core.Options {
+	return core.Options{
+		N: c.N, M: c.M, Eps: c.Eps, Delta: c.Delta,
+		Lambda: c.Lambda, Seed: c.Seed, Envelope: c.Envelope,
+	}
+}
+
+// NewServer validates cfg and builds the backend.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.N == 0 {
+		return nil, fmt.Errorf("daemon: config needs a positive domain N")
+	}
+	var be backend
+	switch cfg.Backend {
+	case "countsketch":
+		rows, buckets, topk := cfg.Rows, cfg.Buckets, cfg.TopK
+		if rows == 0 {
+			rows = 5
+		}
+		if buckets == 0 {
+			buckets = 1 << 10
+		}
+		rng := util.NewSplitMix64(cfg.Seed)
+		var cs *sketch.CountSketch
+		if topk > 0 {
+			cs = sketch.NewCountSketchTopK(rows, buckets, topk, rng)
+		} else {
+			cs = sketch.NewCountSketch(rows, buckets, rng)
+		}
+		be = &countSketchBackend{cs: cs}
+	case "heavy":
+		g, err := catalogFunc(cfg.G)
+		if err != nil {
+			return nil, err
+		}
+		be = newHeavyBackend(g, cfg)
+	case "onepass":
+		g, err := catalogFunc(cfg.G)
+		if err != nil {
+			return nil, err
+		}
+		be = &onePassBackend{est: core.NewOnePass(g, cfg.options())}
+	case "universal":
+		opts := cfg.options()
+		if opts.Envelope == 0 && cfg.G != "" {
+			g, err := catalogFunc(cfg.G)
+			if err != nil {
+				return nil, err
+			}
+			m := uint64(cfg.M)
+			if m < 4 {
+				m = 4
+			}
+			opts.Envelope = gfunc.MeasureEnvelope(g, m).H()
+		}
+		be = &universalBackend{u: core.NewUniversal(opts)}
+	default:
+		return nil, fmt.Errorf("daemon: unknown backend %q (countsketch, heavy, onepass, universal)", cfg.Backend)
+	}
+	return &Server{cfg: cfg, be: be}, nil
+}
+
+// IngestRequest is the /v1/ingest body: updates as [item, delta] pairs.
+type IngestRequest struct {
+	Updates [][2]int64 `json:"updates"`
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/config", s.handleConfig)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/merge", s.handleMerge)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	s.mu.Lock()
+	resp := struct {
+		Config
+		Ingested   uint64 `json:"ingested"`
+		SpaceBytes int    `json:"space_bytes"`
+	}{s.cfg, s.ingests, s.be.spaceBytes()}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad ingest body: %w", err))
+		return
+	}
+	batch := make([]stream.Update, len(req.Updates))
+	for i, p := range req.Updates {
+		if p[0] < 0 || uint64(p[0]) >= s.cfg.N {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("update %d: item %d outside domain [0,%d)", i, p[0], s.cfg.N))
+			return
+		}
+		batch[i] = stream.Update{Item: uint64(p[0]), Delta: p[1]}
+	}
+	s.mu.Lock()
+	s.be.ingest(batch)
+	s.ingests += uint64(len(batch))
+	total := s.ingests
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]uint64{"ingested": uint64(len(batch)), "total": total})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	s.mu.Lock()
+	data, err := s.be.snapshot()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	// Read one byte past the cap so an oversize body is rejected whole
+	// rather than truncated into a corrupt partial payload.
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(data) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("snapshot exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	s.mu.Lock()
+	err = s.be.merge(data)
+	s.mu.Unlock()
+	if err != nil {
+		// A fingerprint/dimension mismatch is the client's fault: it shipped
+		// a snapshot from a differently-configured daemon.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "merged"})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	s.mu.Lock()
+	resp, err := s.be.estimate(r.URL.Query())
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- backends ---
+
+// countSketchBackend serves a raw CountSketch: point queries and F2.
+type countSketchBackend struct {
+	cs *sketch.CountSketch
+}
+
+func (b *countSketchBackend) ingest(batch []stream.Update) { engine.Ingest(b.cs, batch, 0) }
+func (b *countSketchBackend) snapshot() ([]byte, error)    { return b.cs.MarshalBinary() }
+func (b *countSketchBackend) merge(data []byte) error      { return b.cs.UnmarshalBinary(data) }
+func (b *countSketchBackend) spaceBytes() int              { return b.cs.SpaceBytes() }
+
+func (b *countSketchBackend) estimate(q url.Values) (interface{}, error) {
+	if it := q.Get("item"); it != "" {
+		item, err := strconv.ParseUint(it, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad item %q: %w", it, err)
+		}
+		return map[string]interface{}{"item": item, "estimate": b.cs.Estimate(item)}, nil
+	}
+	return map[string]interface{}{"f2": b.cs.EstimateF2()}, nil
+}
+
+// heavyBackend serves one Algorithm 2 instance: the cover of (g, λ)-heavy
+// hitters. Cover() finalizes the pruning against the current state but
+// does not consume it, so estimates may be queried repeatedly as traffic
+// continues.
+type heavyBackend struct {
+	op *heavy.OnePass
+}
+
+func newHeavyBackend(g gfunc.Func, cfg Config) *heavyBackend {
+	m := uint64(cfg.M)
+	if m < 4 {
+		m = 4
+	}
+	h := gfunc.MeasureEnvelope(g, m).H()
+	lambda := cfg.Lambda
+	if lambda == 0 {
+		lambda = 1.0 / 16
+	}
+	eps := cfg.Eps
+	if eps == 0 {
+		eps = 0.25
+	}
+	delta := cfg.Delta
+	if delta == 0 {
+		delta = 0.2
+	}
+	return &heavyBackend{op: heavy.NewOnePass(heavy.OnePassConfig{
+		G: g, Lambda: lambda, Eps: eps, Delta: delta, H: h,
+	}, util.NewSplitMix64(cfg.Seed))}
+}
+
+func (b *heavyBackend) ingest(batch []stream.Update) { b.op.UpdateBatch(batch) }
+func (b *heavyBackend) snapshot() ([]byte, error)    { return b.op.MarshalBinary() }
+func (b *heavyBackend) merge(data []byte) error      { return b.op.UnmarshalBinary(data) }
+func (b *heavyBackend) spaceBytes() int              { return b.op.SpaceBytes() }
+
+func (b *heavyBackend) estimate(url.Values) (interface{}, error) {
+	cover := b.op.Cover()
+	entries := make([]map[string]interface{}, len(cover))
+	for i, e := range cover {
+		entries[i] = map[string]interface{}{"item": e.Item, "freq": e.Freq, "weight": e.Weight}
+	}
+	return map[string]interface{}{"cover": entries, "weight_sum": cover.WeightSum()}, nil
+}
+
+// onePassBackend serves the full Theorem 2 estimator for a fixed g.
+type onePassBackend struct {
+	est *core.OnePassEstimator
+}
+
+func (b *onePassBackend) ingest(batch []stream.Update) { b.est.UpdateBatch(batch) }
+func (b *onePassBackend) snapshot() ([]byte, error)    { return b.est.MarshalBinary() }
+func (b *onePassBackend) merge(data []byte) error      { return b.est.UnmarshalBinary(data) }
+func (b *onePassBackend) spaceBytes() int              { return b.est.SpaceBytes() }
+
+func (b *onePassBackend) estimate(url.Values) (interface{}, error) {
+	return map[string]interface{}{"estimate": b.est.Estimate()}, nil
+}
+
+// universalBackend serves the §1.1.1 function-independent sketch:
+// /v1/estimate?g=<name> answers post-hoc g-SUM queries for any catalog
+// function (sized for the configured envelope).
+type universalBackend struct {
+	u *core.Universal
+}
+
+func (b *universalBackend) ingest(batch []stream.Update) { b.u.UpdateBatch(batch) }
+func (b *universalBackend) snapshot() ([]byte, error)    { return b.u.MarshalBinary() }
+func (b *universalBackend) merge(data []byte) error      { return b.u.UnmarshalBinary(data) }
+func (b *universalBackend) spaceBytes() int              { return b.u.SpaceBytes() }
+
+func (b *universalBackend) estimate(q url.Values) (interface{}, error) {
+	name := q.Get("g")
+	if name == "" {
+		names := make([]string, 0)
+		for _, e := range gfunc.Catalog() {
+			names = append(names, e.Func.Name())
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("universal backend needs ?g=<name>; catalog: %v", names)
+	}
+	g, err := catalogFunc(name)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]interface{}{"g": name, "estimate": b.u.EstimateFor(g)}, nil
+}

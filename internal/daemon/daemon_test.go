@@ -1,0 +1,200 @@
+package daemon
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gfunc"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+// testStream is a seeded Zipf stream whose distinct-item count stays
+// below the candidate trackers' capacity, the regime in which merged and
+// serial estimates agree exactly (see internal/core/parallel.go).
+func testStream(seed uint64) *stream.Stream {
+	return stream.Zipf(stream.GenConfig{N: 1 << 12, M: 1 << 10, Seed: seed}, 90, 1.1)
+}
+
+// cluster spins up two worker daemons and one coordinator daemon with
+// identical configuration, pushes disjoint halves of the stream to the
+// workers over HTTP, and merges both snapshots into the coordinator.
+func cluster(t *testing.T, cfg Config, s *stream.Stream) *Client {
+	t.Helper()
+	mk := func() *httptest.Server {
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	w1, w2, coord := mk(), mk(), mk()
+
+	updates := s.Updates()
+	n := len(updates)
+	if err := NewClient(w1.URL, nil).Push(updates[:n/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewClient(w2.URL, nil).Push(updates[n/2:]); err != nil {
+		t.Fatal(err)
+	}
+	cc := NewClient(coord.URL, nil)
+	if err := cc.PullFrom([]string{w1.URL, w2.URL}); err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+func TestE2ECountSketchBackend(t *testing.T) {
+	s := testStream(3)
+	cfg := Config{Backend: "countsketch", N: 1 << 12, M: 1 << 10, Seed: 17, Rows: 5, Buckets: 1 << 10}
+	cc := cluster(t, cfg, s)
+
+	// Serial single-process reference with the same seed.
+	cs := sketch.NewCountSketch(5, 1<<10, util.NewSplitMix64(17))
+	s.Each(func(u stream.Update) { cs.Update(u.Item, u.Delta) })
+
+	for item := range s.Vector() {
+		got, err := cc.Estimate(url.Values{"item": {strconv.FormatUint(item, 10)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est := int64(got["estimate"].(float64)); est != cs.Estimate(item) {
+			t.Errorf("item %d: daemon estimate %d != serial %d", item, est, cs.Estimate(item))
+		}
+	}
+	got, err := cc.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 := got["f2"].(float64); f2 != cs.EstimateF2() {
+		t.Errorf("daemon F2 %.17g != serial %.17g", f2, cs.EstimateF2())
+	}
+}
+
+func TestE2EHeavyBackend(t *testing.T) {
+	s := testStream(5)
+	cfg := Config{Backend: "heavy", G: "x^2", N: 1 << 12, M: 1 << 10, Seed: 23, Lambda: 1.0 / 16}
+	cc := cluster(t, cfg, s)
+
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := srv.be.(*heavyBackend).op
+	s.Each(func(u stream.Update) { serial.Update(u.Item, u.Delta) })
+	want := serial.Cover()
+
+	got, err := cc.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := got["weight_sum"].(float64); ws != want.WeightSum() {
+		t.Errorf("daemon cover weight sum %.17g != serial %.17g", ws, want.WeightSum())
+	}
+	entries := got["cover"].([]interface{})
+	if len(entries) != len(want) {
+		t.Fatalf("daemon cover has %d entries, serial %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		m := e.(map[string]interface{})
+		if it := uint64(m["item"].(float64)); it != want[i].Item {
+			t.Errorf("cover[%d] item %d, want %d", i, it, want[i].Item)
+		}
+	}
+}
+
+func TestE2ERecursiveOnePassBackend(t *testing.T) {
+	s := testStream(7)
+	cfg := Config{Backend: "onepass", G: "x^2", N: 1 << 12, M: 1 << 10,
+		Eps: 0.25, Seed: 42, Lambda: 1.0 / 16}
+	cc := cluster(t, cfg, s)
+
+	serial := core.NewOnePass(gfunc.F2Func(), core.Options{
+		N: 1 << 12, M: 1 << 10, Eps: 0.25, Seed: 42, Lambda: 1.0 / 16})
+	serial.Process(s)
+
+	got, err := cc.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := got["estimate"].(float64); est != serial.Estimate() {
+		t.Errorf("daemon g-SUM estimate %.17g != serial %.17g", est, serial.Estimate())
+	}
+}
+
+func TestE2EUniversalBackendPostHocQueries(t *testing.T) {
+	s := testStream(9)
+	cfg := Config{Backend: "universal", N: 1 << 12, M: 1 << 10,
+		Eps: 0.25, Seed: 31, Lambda: 1.0 / 16, Envelope: 4}
+	cc := cluster(t, cfg, s)
+
+	serial := core.NewUniversal(core.Options{
+		N: 1 << 12, M: 1 << 10, Eps: 0.25, Seed: 31, Lambda: 1.0 / 16, Envelope: 4})
+	serial.Process(s)
+
+	for _, g := range []gfunc.Func{gfunc.F2Func(), gfunc.F1Func(), gfunc.L0()} {
+		got, err := cc.Estimate(url.Values{"g": {g.Name()}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est := got["estimate"].(float64); est != serial.EstimateFor(g) {
+			t.Errorf("%s: daemon estimate %.17g != serial %.17g", g.Name(), est, serial.EstimateFor(g))
+		}
+	}
+}
+
+func TestMergeRejectsMismatchedConfiguration(t *testing.T) {
+	cfgA := Config{Backend: "countsketch", N: 1 << 10, Seed: 1, Rows: 5, Buckets: 256}
+	cfgB := Config{Backend: "countsketch", N: 1 << 10, Seed: 2, Rows: 5, Buckets: 256}
+	sa, err := NewServer(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewServer(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsa, tsb := httptest.NewServer(sa.Handler()), httptest.NewServer(sb.Handler())
+	defer tsa.Close()
+	defer tsb.Close()
+
+	snap, err := NewClient(tsa.URL, nil).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewClient(tsb.URL, nil).Merge(snap); err == nil {
+		t.Error("expected merge of a different-seed snapshot to be rejected")
+	}
+}
+
+func TestIngestRejectsOutOfDomainItems(t *testing.T) {
+	srv, err := NewServer(Config{Backend: "countsketch", N: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	err = NewClient(ts.URL, nil).Push([]stream.Update{{Item: 99, Delta: 1}})
+	if err == nil {
+		t.Error("expected out-of-domain item to be rejected")
+	}
+}
+
+func TestNewServerValidatesConfig(t *testing.T) {
+	if _, err := NewServer(Config{Backend: "nope", N: 4}); err == nil {
+		t.Error("expected unknown backend error")
+	}
+	if _, err := NewServer(Config{Backend: "onepass", G: "nope", N: 4}); err == nil {
+		t.Error("expected unknown function error")
+	}
+	if _, err := NewServer(Config{Backend: "countsketch"}); err == nil {
+		t.Error("expected zero-domain error")
+	}
+}

@@ -15,15 +15,3 @@ func (o *OnePass) Merge(other *OnePass) error {
 	}
 	return o.cs.MergeTopK(other.cs)
 }
-
-// MarshalBinary serializes the sketch state (counters + tracked
-// candidates). The receiving side must be constructed with the same
-// configuration and seed.
-func (o *OnePass) MarshalBinary() ([]byte, error) {
-	return o.cs.MarshalBinary()
-}
-
-// UnmarshalBinary adds serialized shard state into o (merge semantics).
-func (o *OnePass) UnmarshalBinary(data []byte) error {
-	return o.cs.UnmarshalBinary(data)
-}

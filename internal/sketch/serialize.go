@@ -1,9 +1,9 @@
 package sketch
 
 import (
-	"bytes"
-	"encoding/binary"
 	"fmt"
+
+	"repro/internal/wire"
 )
 
 // Linear sketches are shippable: a worker sketches its shard of the
@@ -13,12 +13,15 @@ import (
 // the wire format stays small and the seed is the only coordination
 // needed. Marshal/Unmarshal therefore pair with the same seed-discipline
 // rule as Merge: the receiving sketch must have been constructed with
-// identical dimensions and seed.
+// identical dimensions and seed — and unlike Merge, the wire header's
+// fingerprint (a digest of the hash-function coefficients) lets the
+// decoder CHECK that contract instead of trusting the caller.
 //
-// Wire format (big endian):
+// Wire format (big endian, header per internal/wire):
 //
-//	magic u32 | rows u32 | buckets u64 | counters rows*buckets*i64
-//	          | tracked u32 | tracked item ids u64...
+//	magic u32 | version u16 | fingerprint u64
+//	rows u32 | buckets u64 | rows × (u32 count + counters i64...)
+//	tracked u32 | tracked item ids u64...
 //
 // The tracked-item section carries the top-k candidate ids (when the
 // sketch was built with NewCountSketchTopK); estimates are recomputed on
@@ -26,76 +29,85 @@ import (
 
 const countSketchMagic uint32 = 0x67535543 // "gSUC"
 
+// Fingerprint digests the sketch's dimensions, hash-function
+// coefficients, and tracker capacity. Two CountSketches constructed with
+// the same parameters from the same seed have equal fingerprints; it is
+// the quantity the wire header validates on decode.
+func (cs *CountSketch) Fingerprint() uint64 {
+	h := wire.Fingerprint(0, uint64(cs.rows))
+	h = wire.Fingerprint(h, cs.buckets)
+	for j := 0; j < cs.rows; j++ {
+		h = cs.bucket[j].Fingerprint(h)
+		h = cs.sign[j].Fingerprint(h)
+	}
+	k := uint64(0)
+	if cs.topK != nil {
+		k = uint64(cs.topK.k)
+	}
+	return wire.Fingerprint(h, k)
+}
+
 // MarshalBinary serializes the counter state and tracked candidates.
 func (cs *CountSketch) MarshalBinary() ([]byte, error) {
-	var buf bytes.Buffer
-	w := func(v interface{}) {
-		// bytes.Buffer writes cannot fail.
-		_ = binary.Write(&buf, binary.BigEndian, v)
-	}
-	w(countSketchMagic)
-	w(uint32(cs.rows))
-	w(cs.buckets)
+	var w wire.Writer
+	w.Header(countSketchMagic, cs.Fingerprint())
+	w.U32(uint32(cs.rows))
+	w.U64(cs.buckets)
 	for j := 0; j < cs.rows; j++ {
-		w(cs.counts[j])
+		w.I64s(cs.counts[j])
 	}
 	if cs.topK != nil {
-		items := cs.topK.items()
-		w(uint32(len(items)))
-		w(items)
+		w.U64s(cs.topK.items())
 	} else {
-		w(uint32(0))
+		w.U64s(nil)
 	}
-	return buf.Bytes(), nil
+	return w.Bytes(), nil
 }
 
 // UnmarshalBinary ADDS the serialized counter state into cs (merge
 // semantics, matching the linearity of the sketch). cs must have been
-// constructed with the same dimensions and seed as the sender; dimensions
-// are verified, seed discipline is the caller's contract. To load a shard
-// into an empty sketch, construct a fresh sketch first.
+// constructed with the same dimensions and seed as the sender; both are
+// verified via the header fingerprint. The whole payload is decoded and
+// validated BEFORE any counter is touched, so an error never leaves cs
+// half-merged. To load a shard into an empty sketch, construct a fresh
+// sketch first.
 func (cs *CountSketch) UnmarshalBinary(data []byte) error {
-	r := bytes.NewReader(data)
-	var magic, rows uint32
-	var buckets uint64
-	if err := binary.Read(r, binary.BigEndian, &magic); err != nil {
-		return fmt.Errorf("sketch: truncated header: %w", err)
+	r := wire.NewReader(data)
+	if err := r.Header(countSketchMagic, cs.Fingerprint()); err != nil {
+		return fmt.Errorf("sketch: %w", err)
 	}
-	if magic != countSketchMagic {
-		return fmt.Errorf("sketch: bad magic %#x", magic)
-	}
-	if err := binary.Read(r, binary.BigEndian, &rows); err != nil {
-		return fmt.Errorf("sketch: truncated rows: %w", err)
-	}
-	if err := binary.Read(r, binary.BigEndian, &buckets); err != nil {
-		return fmt.Errorf("sketch: truncated buckets: %w", err)
-	}
-	if int(rows) != cs.rows || buckets != cs.buckets {
+	rows := r.U32()
+	buckets := r.U64()
+	if r.Err() == nil && (int(rows) != cs.rows || buckets != cs.buckets) {
 		return fmt.Errorf("sketch: dimension mismatch: wire %dx%d vs local %dx%d",
 			rows, buckets, cs.rows, cs.buckets)
 	}
-	row := make([]int64, buckets)
-	for j := 0; j < int(rows); j++ {
-		if err := binary.Read(r, binary.BigEndian, &row); err != nil {
-			return fmt.Errorf("sketch: truncated row %d: %w", j, err)
+	staged := make([][]int64, cs.rows)
+	for j := 0; j < cs.rows; j++ {
+		staged[j] = make([]int64, cs.buckets)
+		r.I64sInto(staged[j])
+		if r.Err() != nil {
+			return fmt.Errorf("sketch: row %d: %w", j, r.Err())
 		}
-		for i, v := range row {
+	}
+	items := r.U64s()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sketch: %w", err)
+	}
+	for j := 0; j < cs.rows; j++ {
+		for i, v := range staged[j] {
 			cs.counts[j][i] += v
 		}
 	}
-	var tracked uint32
-	if err := binary.Read(r, binary.BigEndian, &tracked); err != nil {
-		return fmt.Errorf("sketch: truncated tracker: %w", err)
-	}
-	if tracked > 0 {
-		items := make([]uint64, tracked)
-		if err := binary.Read(r, binary.BigEndian, &items); err != nil {
-			return fmt.Errorf("sketch: truncated tracked items: %w", err)
+	if cs.topK != nil {
+		// Mirror MergeTopK: offer the shard's candidates against the
+		// merged counters, then re-score our own survivors too, so wire
+		// merges and in-process merges admit the same candidate sets.
+		for _, it := range items {
+			cs.topK.offer(it, cs.Estimate(it))
 		}
-		if cs.topK != nil {
-			for _, it := range items {
-				cs.topK.offer(it, cs.Estimate(it))
-			}
+		for _, it := range cs.topK.items() {
+			cs.topK.offer(it, cs.Estimate(it))
 		}
 	}
 	return nil

@@ -92,6 +92,51 @@ func TestMarshalCarriesTrackedCandidates(t *testing.T) {
 	}
 }
 
+func TestUnmarshalTrackerMatchesMergeTopK(t *testing.T) {
+	// The wire path must admit exactly the candidates the in-process
+	// merge admits: both re-offer the shard's items AND re-score the
+	// receiver's own survivors against the merged counters.
+	mk := func() *CountSketch { return NewCountSketchTopK(5, 1024, 4, util.NewSplitMix64(11)) }
+	feedA := func(cs *CountSketch) {
+		for i := uint64(0); i < 8; i++ {
+			cs.Update(i, int64(1000*(i+1)))
+		}
+	}
+	feedB := func(cs *CountSketch) {
+		// Items whose union estimates shuffle the top-4 ordering.
+		for i := uint64(4); i < 12; i++ {
+			cs.Update(i, int64(900*(13-i)))
+		}
+	}
+
+	viaMerge, shardB := mk(), mk()
+	feedA(viaMerge)
+	feedB(shardB)
+	if err := viaMerge.MergeTopK(shardB); err != nil {
+		t.Fatal(err)
+	}
+
+	viaWire := mk()
+	feedA(viaWire)
+	data, err := shardB.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viaWire.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := viaMerge.TopK(), viaWire.TopK()
+	if len(a) != len(b) {
+		t.Fatalf("tracker sizes differ: merge %d vs wire %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("candidate %d: merge %+v vs wire %+v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestMergeTopKUnionCandidates(t *testing.T) {
 	a := NewCountSketchTopK(5, 1024, 8, util.NewSplitMix64(7))
 	b := NewCountSketchTopK(5, 1024, 8, util.NewSplitMix64(7))

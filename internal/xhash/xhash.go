@@ -13,6 +13,7 @@ import (
 	"math/bits"
 
 	"repro/internal/util"
+	"repro/internal/wire"
 )
 
 // MersennePrime61 is the modulus 2^61 - 1 used by every family in this
@@ -71,6 +72,17 @@ func NewPoly(k int, rng *util.SplitMix64) *Poly {
 // K returns the independence parameter (number of coefficients).
 func (p *Poly) K() int { return len(p.coeff) }
 
+// Fingerprint folds the polynomial's coefficients into the digest h.
+// Two polynomials drawn from the same rng state fold identically, so
+// fingerprints implement the checked seed-discipline of the wire format.
+func (p *Poly) Fingerprint(h uint64) uint64 {
+	h = wire.Fingerprint(h, uint64(len(p.coeff)))
+	for _, c := range p.coeff {
+		h = wire.Fingerprint(h, c)
+	}
+	return h
+}
+
 // Hash evaluates the polynomial at x (reduced mod p first) via Horner's rule.
 // The result lies in [0, 2^61 - 1).
 func (p *Poly) Hash(x uint64) uint64 {
@@ -105,6 +117,11 @@ func (h *Buckets) Hash(x uint64) uint64 {
 	return h.poly.Hash(x) % h.b
 }
 
+// Fingerprint folds the bucket count and polynomial into the digest.
+func (h *Buckets) Fingerprint(d uint64) uint64 {
+	return h.poly.Fingerprint(wire.Fingerprint(d, h.b))
+}
+
 // Sign is a k-wise independent hash into {-1, +1}, the ξ function of
 // CountSketch and the AMS sketch.
 type Sign struct {
@@ -115,6 +132,11 @@ type Sign struct {
 // k = 4 for their variance bounds.
 func NewSign(k int, rng *util.SplitMix64) *Sign {
 	return &Sign{poly: NewPoly(k, rng)}
+}
+
+// Fingerprint folds the sign hash's polynomial into the digest.
+func (h *Sign) Fingerprint(d uint64) uint64 {
+	return h.poly.Fingerprint(d)
 }
 
 // Hash maps x to -1 or +1.
@@ -144,6 +166,12 @@ func NewBernoulli(k int, numer, denom uint64, rng *util.SplitMix64) *Bernoulli {
 		panic("xhash: invalid Bernoulli parameters")
 	}
 	return &Bernoulli{poly: NewPoly(k, rng), numer: numer, denom: denom}
+}
+
+// Fingerprint folds the Bernoulli parameters and polynomial into the
+// digest.
+func (h *Bernoulli) Fingerprint(d uint64) uint64 {
+	return h.poly.Fingerprint(wire.Fingerprint(wire.Fingerprint(d, h.numer), h.denom))
 }
 
 // Hash reports whether x is selected (probability numer/denom over the

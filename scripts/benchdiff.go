@@ -1,0 +1,157 @@
+// Command benchdiff is the CI performance regression gate: it parses
+// `go test -bench` output, extracts the ns/op of every BenchmarkProcess*
+// benchmark (taking the MINIMUM across repeated -count runs, the least
+// noisy statistic on shared CI runners), and compares against the
+// committed baseline.
+//
+//	go test -run '^$' -bench '^BenchmarkProcess' -benchtime 3x -count 3 . | tee bench.txt
+//	go run ./scripts -baseline BENCH_baseline.json -current bench.txt
+//
+// The job fails (exit 1) when any benchmark's ns/op exceeds
+// threshold × baseline (default 2x). Refresh the baseline after an
+// intentional performance change:
+//
+//	go run ./scripts -current bench.txt -write BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed BENCH_baseline.json layout.
+type Baseline struct {
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkProcessSerial-8   	      16	  71491381 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name -> min ns/op for benchmarks matching prefix.
+func parseBench(path, prefix string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil || !strings.HasPrefix(m[1], prefix) {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	current := flag.String("current", "", "path to `go test -bench` output")
+	baselinePath := flag.String("baseline", "", "path to the committed baseline JSON")
+	write := flag.String("write", "", "write a fresh baseline JSON to this path and exit")
+	prefix := flag.String("prefix", "BenchmarkProcess", "benchmark name prefix to gate")
+	threshold := flag.Float64("threshold", 2.0, "fail when current > threshold * baseline")
+	flag.Parse()
+
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		return 2
+	}
+	got, err := parseBench(*current, *prefix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no %s* results in %s\n", *prefix, *current)
+		return 2
+	}
+
+	if *write != "" {
+		b := Baseline{
+			Note:       "min ns/op per benchmark; refresh with scripts/benchdiff -write after intentional perf changes",
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(got), *write)
+		return 0
+	}
+
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline or -write is required")
+		return 2
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad baseline %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		cur := got[name]
+		ref, ok := base.Benchmarks[name]
+		if !ok || ref <= 0 {
+			fmt.Printf("NEW   %-34s %12.0f ns/op (no baseline; refresh BENCH_baseline.json)\n", name, cur)
+			continue
+		}
+		ratio := cur / ref
+		status := "ok   "
+		if ratio > *threshold {
+			status = "FAIL "
+			failed = true
+		}
+		fmt.Printf("%s %-34s %12.0f ns/op vs baseline %12.0f (%.2fx, limit %.1fx)\n",
+			status, name, cur, ref, ratio, *threshold)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := got[name]; !ok && strings.HasPrefix(name, *prefix) {
+			fmt.Printf("GONE  %-34s present in baseline but not in this run\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("benchdiff: performance regression gate FAILED")
+		return 1
+	}
+	fmt.Println("benchdiff: all benchmarks within threshold")
+	return 0
+}

@@ -29,6 +29,16 @@
 // across worker-owned shards that merge by linearity, so worker count
 // never changes the counters.
 //
+// The sketch-backed estimators (OnePassEstimator, TwoPassEstimator,
+// UniversalSketch) implement encoding.BinaryMarshaler and
+// encoding.BinaryUnmarshaler with merge semantics: UnmarshalBinary ADDS
+// a serialized shard's counters into the receiver, and a fingerprint in
+// the wire header (internal/wire) rejects payloads from a sketch built
+// with a different seed or configuration. This is what cmd/gsumd builds
+// on: worker daemons ship snapshots, a coordinator folds them, and the
+// merged estimate equals the single-process estimate exactly. See the
+// README's wire-format section.
+//
 // # Quick start
 //
 //	g := universal.X2Log()                 // g(x) = x² lg(1+x), 1-pass tractable
