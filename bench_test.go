@@ -25,6 +25,7 @@ import (
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/util"
+	"repro/internal/workload"
 )
 
 // renderOnce prints each experiment table a single time per process, so
@@ -451,6 +452,30 @@ func BenchmarkProcessParallel(b *testing.B) {
 		if err := e.ProcessParallel(s, 4); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkProcessWorkload is the per-scenario half of the gate: serial
+// batched ingestion of each internal/workload scenario, so a hot-path
+// change that helps one traffic shape but hurts another (e.g. a
+// duplicate fast path that taxes all-distinct streams) is caught. Each
+// scenario's stream is generated once and reused across iterations.
+func BenchmarkProcessWorkload(b *testing.B) {
+	g := gfunc.F2Func()
+	cfg := workload.Config{N: 1 << 16, Items: 4096, Length: 1 << 17, Seed: 7}
+	for _, gen := range workload.Generators() {
+		gen := gen
+		// Subbenchmark names feed scripts/benchdiff: BenchmarkProcessWorkload/zipf etc.
+		b.Run(gen.Name(), func(b *testing.B) {
+			s := gen.Generate(cfg)
+			opts := processBenchOpts(s)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := core.NewOnePass(g, opts)
+				e.Process(s)
+			}
+			b.ReportMetric(float64(b.N)*float64(s.Len())/b.Elapsed().Seconds(), "updates/s")
+		})
 	}
 }
 

@@ -4,6 +4,8 @@
 //	gsum classify -f x^2          classify one named catalog function
 //	gsum estimate [flags]         estimate a g-SUM on a generated stream
 //	gsum estimate -workers 8      ... with sharded parallel ingestion
+//	gsum bench -workload zipf     benchmark a workload scenario end to end
+//	gsum bench -backend daemon    ... through an in-process gsumd topology
 //	gsum experiments [-quick]     run the full E1-E15 experiment suite
 //	gsum experiments -run E4      run a single experiment
 //	gsum push [flags]             push a stream shard to a gsumd daemon
@@ -23,6 +25,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cliflag"
 	"repro/internal/core"
@@ -32,6 +35,7 @@ import (
 	"repro/internal/gfunc"
 	"repro/internal/stream"
 	"repro/internal/util"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -51,6 +55,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return runClassify(argv[1:], stdout, stderr)
 	case "estimate":
 		return runEstimate(argv[1:], stdout, stderr)
+	case "bench":
+		return runBench(argv[1:], stdout, stderr)
 	case "experiments":
 		return runExperiments(argv[1:], stdout, stderr)
 	case "push":
@@ -71,6 +77,7 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   gsum classify [-f name] [-m max]    zero-one-law classification
   gsum estimate [flags]               estimate g-SUM on a generated stream
+  gsum bench [flags]                  benchmark a workload scenario end to end
   gsum experiments [-quick] [-run E#] reproduce the paper's experiments
   gsum push -addr URL [flags]         push a stream shard to a gsumd daemon
   gsum query -addr URL [flags]        query a gsumd daemon's estimate
@@ -187,6 +194,88 @@ func runEstimate(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "exact   %.6g  (%d bytes)\n", truth, exact.SpaceBytes())
 	fmt.Fprintf(stdout, "%d-pass  %.6g  (%d bytes), relative error %.4f\n",
 		*passes, est, space, util.RelErr(est, truth))
+	return 0
+}
+
+// runBench drives one workload scenario through one ingestion backend
+// and reports throughput plus estimate-vs-exact accuracy. It is the CLI
+// face of internal/workload: `gsum bench -workload zipf -backend daemon
+// -workers 4` spins up an in-process worker/coordinator gsumd topology
+// and exercises the full distributed path end to end.
+func runBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wname := fs.String("workload", "zipf", "scenario: "+strings.Join(workload.Names(), ", "))
+	fname := fs.String("f", "x^2", "catalog function to sum")
+	n := fs.Uint64("n", 1<<16, "domain size")
+	items := fs.Int("items", 4096, "working-set cardinality (distinct items)")
+	length := fs.Int("len", 1<<17, "stream length (updates)")
+	alpha := fs.Float64("alpha", 1.1, "zipf/bursty skew exponent")
+	eps := fs.Float64("eps", 0.25, "target accuracy")
+	seed := fs.Uint64("seed", 1, "random seed (stream and sketch)")
+	workers := fs.Int("workers", 1, "shards for parallel (0 = GOMAXPROCS) / worker daemons for daemon (min 1)")
+	backend := fs.String("backend", "serial", "ingestion backend: "+strings.Join(workload.Backends, ", "))
+	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
+		return code
+	}
+
+	validBackend := false
+	for _, b := range workload.Backends {
+		if *backend == b {
+			validBackend = true
+			break
+		}
+	}
+	if !validBackend {
+		fmt.Fprintf(stderr, "gsum: unknown backend %q; available: %s\n",
+			*backend, strings.Join(workload.Backends, ", "))
+		return 2
+	}
+
+	g, ok := catalogByName()[*fname]
+	if !ok {
+		fmt.Fprintf(stderr, "gsum: unknown function %q\n", *fname)
+		return 2
+	}
+	gen, ok := workload.Lookup(*wname)
+	if !ok {
+		fmt.Fprintf(stderr, "gsum: unknown workload %q; available:\n", *wname)
+		for _, w := range workload.Generators() {
+			fmt.Fprintf(stderr, "  %-9s %s\n", w.Name(), w.Description())
+		}
+		return 2
+	}
+	// Honor -alpha for the skewed scenarios without disturbing the rest.
+	switch *wname {
+	case "zipf":
+		gen = workload.Zipf{Alpha: *alpha}
+	case "bursty":
+		gen = workload.Bursty{Alpha: *alpha}
+	case "permuted":
+		gen = workload.PermutedReplay{Inner: workload.Zipf{Alpha: *alpha}}
+	}
+
+	res, err := workload.RunBench(workload.BenchSpec{
+		Generator: gen,
+		Cfg:       workload.Config{N: *n, Items: *items, Length: *length, Seed: *seed},
+		G:         g,
+		Opts:      core.Options{M: 1 << 10, Eps: *eps, Seed: *seed * 7, Lambda: 1.0 / 16},
+		Backend:   *backend,
+		Workers:   *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "gsum bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "workload %s: %s\n", res.Workload, gen.Description())
+	fmt.Fprintf(stdout, "stream: %d updates, %d distinct items, domain %d (generated in %v)\n",
+		res.Updates, res.Distinct, *n, res.GenElapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "backend %s (%d worker(s)): %.0f updates/s (%v)\n",
+		res.Backend, res.Workers, res.UpdatesPerSec, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "g = %s\n", g.Name())
+	fmt.Fprintf(stdout, "exact    %.6g\n", res.Exact)
+	fmt.Fprintf(stdout, "estimate %.6g  relative error %.4f  (%d sketch bytes)\n",
+		res.Estimate, res.RelErr, res.SpaceBytes)
 	return 0
 }
 

@@ -252,3 +252,75 @@ func TestPushQueryAgainstDaemon(t *testing.T) {
 		t.Errorf("distributed estimate %.17g != serial %.17g", resp.Estimate, serial.Estimate())
 	}
 }
+
+// --- gsum bench -------------------------------------------------------------
+
+func TestBenchEachWorkloadSerial(t *testing.T) {
+	for _, w := range []string{"zipf", "uniform", "needle", "bursty", "permuted"} {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			stdout, stderr, code := gsum(t, "bench", "-workload", w,
+				"-n", "4096", "-items", "256", "-len", "20000")
+			if code != 0 {
+				t.Fatalf("exit %d, stderr %q", code, stderr)
+			}
+			for _, want := range []string{"workload " + w, "updates/s", "relative error", "exact"} {
+				if !strings.Contains(stdout, want) {
+					t.Errorf("output missing %q:\n%s", want, stdout)
+				}
+			}
+		})
+	}
+}
+
+func TestBenchBackendsPrintIdenticalEstimate(t *testing.T) {
+	extract := func(stdout string) string {
+		for _, line := range strings.Split(stdout, "\n") {
+			if strings.HasPrefix(line, "estimate ") {
+				return strings.Fields(line)[1]
+			}
+		}
+		t.Fatalf("no estimate line in %q", stdout)
+		return ""
+	}
+	args := []string{"bench", "-workload", "zipf", "-n", "4096", "-items", "128", "-len", "10000", "-seed", "3"}
+	serialOut, stderr, code := gsum(t, append(args, "-backend", "serial")...)
+	if code != 0 {
+		t.Fatalf("serial: exit %d, stderr %q", code, stderr)
+	}
+	parOut, stderr, code := gsum(t, append(args, "-backend", "parallel", "-workers", "4")...)
+	if code != 0 {
+		t.Fatalf("parallel: exit %d, stderr %q", code, stderr)
+	}
+	dmnOut, stderr, code := gsum(t, append(args, "-backend", "daemon", "-workers", "2")...)
+	if code != 0 {
+		t.Fatalf("daemon: exit %d, stderr %q", code, stderr)
+	}
+	se, pe, de := extract(serialOut), extract(parOut), extract(dmnOut)
+	if se != pe || se != de {
+		t.Fatalf("estimates differ: serial %s, parallel %s, daemon %s", se, pe, de)
+	}
+}
+
+func TestBenchUnknownWorkloadListsCatalog(t *testing.T) {
+	_, stderr, code := gsum(t, "bench", "-workload", "nope")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	for _, w := range []string{"zipf", "uniform", "needle", "bursty", "permuted"} {
+		if !strings.Contains(stderr, w) {
+			t.Errorf("stderr missing workload %q in catalog listing:\n%s", w, stderr)
+		}
+	}
+}
+
+func TestBenchUnknownBackendFails(t *testing.T) {
+	// Usage errors exit 2, matching unknown -workload and unknown -f.
+	_, stderr, code := gsum(t, "bench", "-backend", "bogus", "-n", "1024", "-items", "64", "-len", "1000")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown backend") || !strings.Contains(stderr, "daemon") {
+		t.Errorf("stderr should name the backend catalog: %q", stderr)
+	}
+}

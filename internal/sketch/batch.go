@@ -1,6 +1,9 @@
 package sketch
 
-import "repro/internal/stream"
+import (
+	"repro/internal/stream"
+	"repro/internal/xhash"
+)
 
 // Batch ingestion paths. Every sketch here is linear in the frequency
 // vector, so updates to the same item within a batch collapse into a
@@ -11,38 +14,95 @@ import "repro/internal/stream"
 // map pass. The counter state after UpdateBatch is bit-identical to the
 // equivalent sequence of Update calls.
 
-// batchAgg is reusable scratch for duplicate aggregation: net deltas by
-// item plus the items in first-seen order (deterministic iteration).
+// batchAgg is reusable scratch for duplicate aggregation: the items in
+// first-seen order (deterministic iteration) with their net deltas, plus
+// an open-addressed index for interleaved-duplicate detection. All
+// buffers are retained across batches, so after the first few batches of
+// a steady stream UpdateBatch allocates nothing.
 type batchAgg struct {
-	delta map[uint64]int64
-	order []uint64
-	// Hash-reuse scratch for the tracked CountSketch batch path: per-row
-	// bucket indices and signs (hs, ss) and the per-(item, row) estimate
-	// matrix (ests), so the post-batch re-score reads settled counters
-	// without re-hashing.
+	// slots is an open-addressed, linear-probe hash table over the items
+	// of the current batch: slots[h] holds index+1 into order/ds (0 =
+	// empty). A flat power-of-two table probed with a strong multiplicative
+	// mix replaces the runtime map the profile showed dominating collapse.
+	slots []int32
+	order []uint64 // distinct items, first-seen order
+	ds    []int64  // net delta per order entry
+	// Hash-reuse scratch for the CountSketch batch path: per-item reduced
+	// keys (xs), per-row bucket indices and signs (hs, ss), and the
+	// per-(item, row) estimate matrix (ests) for the tracked variant, so
+	// the post-batch re-score reads settled counters without re-hashing.
+	xs   []uint64
 	hs   []uint64
 	ss   []int64
 	ests []int64
 }
 
+// mix64 is the SplitMix64 finalizer, a strong multiplicative bit mixer
+// used to spread items over the probe table.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // collapse aggregates the batch, preserving first-seen item order.
+//
+// The scan is run-length aware — the fast path for duplicate-heavy
+// batches: consecutive updates to the same item (bursty/clustered arrival
+// order, or the single-item floods of adversarial streams) are coalesced
+// with plain integer additions before the table is touched, so a run of
+// length L costs one probe instead of L. Interleaved duplicates still
+// collapse through the table as before.
 func (a *batchAgg) collapse(batch []stream.Update) {
-	if a.delta == nil {
-		a.delta = make(map[uint64]int64, len(batch))
-	}
-	a.order = a.order[:0]
-	for _, u := range batch {
-		if _, seen := a.delta[u.Item]; !seen {
-			a.order = append(a.order, u.Item)
+	// Size the probe table at ≥2x the batch (≤50% load). Tables are always
+	// powers of two and only grow, so the mask arithmetic stays valid and
+	// steady-state batches reuse the allocation.
+	need := 2 * len(batch)
+	if len(a.slots) < need {
+		size := len(a.slots)
+		if size == 0 {
+			size = 64
 		}
-		a.delta[u.Item] += u.Delta
+		for size < need {
+			size <<= 1
+		}
+		a.slots = make([]int32, size)
+	}
+	mask := uint64(len(a.slots) - 1)
+	a.order = a.order[:0]
+	a.ds = a.ds[:0]
+	for i := 0; i < len(batch); {
+		it := batch[i].Item
+		d := batch[i].Delta
+		j := i + 1
+		for j < len(batch) && batch[j].Item == it {
+			d += batch[j].Delta
+			j++
+		}
+		for h := mix64(it) & mask; ; h = (h + 1) & mask {
+			s := a.slots[h]
+			if s == 0 {
+				a.slots[h] = int32(len(a.order)) + 1
+				a.order = append(a.order, it)
+				a.ds = append(a.ds, d)
+				break
+			}
+			if a.order[s-1] == it {
+				a.ds[s-1] += d
+				break
+			}
+		}
+		i = j
 	}
 }
 
-// reset clears the scratch for the next batch.
+// reset clears the scratch for the next batch. The probe table is cleared
+// wholesale (a vectorized memclr of a few tens of KB, cheap next to the
+// row walks); order and ds just truncate.
 func (a *batchAgg) reset() {
-	clear(a.delta)
+	clear(a.slots)
 	a.order = a.order[:0]
+	a.ds = a.ds[:0]
 }
 
 // UpdateBatch processes a batch of turnstile updates. The counter state
@@ -55,12 +115,23 @@ func (cs *CountSketch) UpdateBatch(batch []stream.Update) {
 	}
 	cs.agg.collapse(batch)
 	order := cs.agg.order
+	// Reduce every distinct item mod 2^61-1 once; each row's inline
+	// polynomial evaluations (rowBucketSign) reuse the reduced key.
+	if cap(cs.agg.xs) < len(order) {
+		cs.agg.xs = make([]uint64, len(order))
+	}
+	xs := cs.agg.xs[:len(order)]
+	for i, it := range order {
+		xs[i] = it % xhash.MersennePrime61
+	}
+	ds := cs.agg.ds
 	if cs.topK == nil {
 		for j := 0; j < cs.rows; j++ {
-			counts, bucket, sign := cs.counts[j], cs.bucket[j], cs.sign[j]
-			for _, it := range order {
-				if d := cs.agg.delta[it]; d != 0 {
-					counts[bucket.Hash(it)] += sign.Hash(it) * d
+			counts := cs.counts[j]
+			for i := range order {
+				if d := ds[i]; d != 0 {
+					h, s := cs.rowBucketSign(j, xs[i])
+					counts[h] += s * d
 				}
 			}
 		}
@@ -82,11 +153,11 @@ func (cs *CountSketch) UpdateBatch(batch []stream.Update) {
 	}
 	hs, ss, ests := cs.agg.hs[:len(order)], cs.agg.ss[:len(order)], cs.agg.ests[:len(order)*cs.rows]
 	for j := 0; j < cs.rows; j++ {
-		counts, bucket, sign := cs.counts[j], cs.bucket[j], cs.sign[j]
-		for i, it := range order {
-			h, s := bucket.Hash(it), sign.Hash(it)
+		counts := cs.counts[j]
+		for i := range order {
+			h, s := cs.rowBucketSign(j, xs[i])
 			hs[i], ss[i] = h, s
-			if d := cs.agg.delta[it]; d != 0 {
+			if d := ds[i]; d != 0 {
 				counts[h] += s * d
 			}
 		}
@@ -114,11 +185,12 @@ func (a *AMS) UpdateBatch(batch []stream.Update) {
 		return
 	}
 	a.agg.collapse(batch)
+	order, ds := a.agg.order, a.agg.ds
 	for g := 0; g < a.groups; g++ {
 		for r := 0; r < a.reps; r++ {
 			z, sign := a.z[g], a.sign[g][r]
-			for _, it := range a.agg.order {
-				if d := a.agg.delta[it]; d != 0 {
+			for i, it := range order {
+				if d := ds[i]; d != 0 {
 					z[r] += sign.Hash(it) * d
 				}
 			}
@@ -134,10 +206,11 @@ func (cm *CountMin) UpdateBatch(batch []stream.Update) {
 		return
 	}
 	cm.agg.collapse(batch)
+	order, ds := cm.agg.order, cm.agg.ds
 	for j := 0; j < cm.rows; j++ {
 		counts, bucket := cm.counts[j], cm.bucket[j]
-		for _, it := range cm.agg.order {
-			if d := cm.agg.delta[it]; d != 0 {
+		for i, it := range order {
+			if d := ds[i]; d != 0 {
 				counts[bucket.Hash(it)] += d
 			}
 		}

@@ -24,9 +24,20 @@ import (
 type CountSketch struct {
 	rows    int
 	buckets uint64
-	counts  [][]int64
-	bucket  []*xhash.Buckets
-	sign    []*xhash.Sign
+	// flat is the contiguous r*b counter matrix; counts[j] is the row-j
+	// view flat[j*b:(j+1)*b]. One backing array keeps row walks
+	// cache-friendly and lets Merge and EstimateF2 run a single loop.
+	flat   []int64
+	counts [][]int64
+	bucket []*xhash.Buckets
+	sign   []*xhash.Sign
+	// coef caches every row's hash-function coefficients in one flat
+	// array, coefPerRow words per row: [b0 b1 | s0 s1 s2 s3]. The hot
+	// paths (Update, Estimate, UpdateBatch) evaluate the polynomials
+	// inline from this cache instead of chasing bucket[j]/sign[j]
+	// pointers; values are bit-identical to the Buckets/Sign evaluations
+	// (see xhash.Poly.AppendCoeffs).
+	coef    []uint64
 	scratch []int64 // per-row estimates, reused across point queries
 	// topK, if non-nil, maintains the items with the largest |estimate|
 	// seen so far, giving one-pass candidate extraction without a domain
@@ -34,6 +45,10 @@ type CountSketch struct {
 	topK *topTracker
 	agg  batchAgg // reusable UpdateBatch scratch; sketches are not goroutine-safe
 }
+
+// coefPerRow is the per-row stride of the coef cache: 2 bucket-hash
+// coefficients (pairwise independence) + 4 sign coefficients (4-wise).
+const coefPerRow = 6
 
 // NewCountSketch returns a CountSketch with r rows and b buckets, drawing
 // hash functions from rng. It panics on non-positive dimensions.
@@ -44,17 +59,40 @@ func NewCountSketch(r int, b uint64, rng *util.SplitMix64) *CountSketch {
 	cs := &CountSketch{
 		rows:    r,
 		buckets: b,
+		flat:    make([]int64, uint64(r)*b),
 		counts:  make([][]int64, r),
 		bucket:  make([]*xhash.Buckets, r),
 		sign:    make([]*xhash.Sign, r),
+		coef:    make([]uint64, 0, coefPerRow*r),
 		scratch: make([]int64, r),
 	}
 	for j := 0; j < r; j++ {
-		cs.counts[j] = make([]int64, b)
+		cs.counts[j] = cs.flat[uint64(j)*b : uint64(j+1)*b : uint64(j+1)*b]
 		cs.bucket[j] = xhash.NewBuckets(2, b, rng.Fork())
 		cs.sign[j] = xhash.NewSign(4, rng.Fork())
+		cs.coef = cs.bucket[j].AppendCoeffs(cs.coef)
+		cs.coef = cs.sign[j].AppendCoeffs(cs.coef)
 	}
 	return cs
+}
+
+// rowBucketSign evaluates row j's bucket index and ±1 sign for xp (the
+// item already reduced mod 2^61-1) from the flat coefficient cache. It
+// reproduces bucket[j].Hash and sign[j].Hash exactly: a degree-1 and a
+// degree-3 Horner evaluation over GF(2^61-1), bucket reduced mod b, sign
+// taken from the low bit.
+func (cs *CountSketch) rowBucketSign(j int, xp uint64) (uint64, int64) {
+	c := cs.coef[coefPerRow*j : coefPerRow*j+coefPerRow : coefPerRow*j+coefPerRow]
+	h := xhash.AddMod(xhash.MulMod(c[1], xp), c[0]) % cs.buckets
+	acc := c[5]
+	acc = xhash.AddMod(xhash.MulMod(acc, xp), c[4])
+	acc = xhash.AddMod(xhash.MulMod(acc, xp), c[3])
+	acc = xhash.AddMod(xhash.MulMod(acc, xp), c[2])
+	s := int64(-1)
+	if acc&1 == 1 {
+		s = 1
+	}
+	return h, s
 }
 
 // NewCountSketchTopK returns a CountSketch that additionally tracks the k
@@ -83,8 +121,11 @@ func (cs *CountSketch) SpaceBytes() int {
 
 // Update processes the turnstile update (item, delta).
 func (cs *CountSketch) Update(item uint64, delta int64) {
+	xp := item % xhash.MersennePrime61
+	b := cs.buckets
 	for j := 0; j < cs.rows; j++ {
-		cs.counts[j][cs.bucket[j].Hash(item)] += cs.sign[j].Hash(item) * delta
+		h, s := cs.rowBucketSign(j, xp)
+		cs.flat[uint64(j)*b+h] += s * delta
 	}
 	if cs.topK != nil {
 		cs.topK.offer(item, cs.Estimate(item))
@@ -95,8 +136,11 @@ func (cs *CountSketch) Update(item uint64, delta int64) {
 // sign(item) * counter[bucket(item)]. It is allocation-free (point queries
 // run on every update when top-k tracking is enabled).
 func (cs *CountSketch) Estimate(item uint64) int64 {
+	xp := item % xhash.MersennePrime61
+	b := cs.buckets
 	for j := 0; j < cs.rows; j++ {
-		cs.scratch[j] = cs.sign[j].Hash(item) * cs.counts[j][cs.bucket[j].Hash(item)]
+		h, s := cs.rowBucketSign(j, xp)
+		cs.scratch[j] = s * cs.flat[uint64(j)*b+h]
 	}
 	// Insertion sort the scratch buffer; rows are O(log n), typically < 20.
 	for i := 1; i < len(cs.scratch); i++ {
@@ -130,9 +174,11 @@ func (cs *CountSketch) EstimateF2() float64 {
 // comparison to the median combiner (DESIGN.md choice 2). The mean is
 // unbiased but has heavier tails.
 func (cs *CountSketch) EstimateMean(item uint64) float64 {
+	xp := item % xhash.MersennePrime61
 	var sum float64
 	for j := 0; j < cs.rows; j++ {
-		sum += float64(cs.sign[j].Hash(item) * cs.counts[j][cs.bucket[j].Hash(item)])
+		h, s := cs.rowBucketSign(j, xp)
+		sum += float64(s * cs.flat[uint64(j)*cs.buckets+h])
 	}
 	return sum / float64(cs.rows)
 }
@@ -189,71 +235,73 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 		return fmt.Errorf("sketch: merge dimension mismatch (%dx%d vs %dx%d)",
 			cs.rows, cs.buckets, other.rows, other.buckets)
 	}
-	for j := 0; j < cs.rows; j++ {
-		for i := range cs.counts[j] {
-			cs.counts[j][i] += other.counts[j][i]
-		}
+	for i, v := range other.flat {
+		cs.flat[i] += v
 	}
 	return nil
 }
 
 // topTracker keeps the k items with the largest |estimate| offered so far.
-// It is a small indexed min-heap keyed by |estimate|.
+// It is a small indexed min-heap keyed by |estimate|. Scores live inside
+// the heap entries — not in a side map — so sift comparisons are array
+// reads; only the item → heap-index lookup pays a map access.
 type topTracker struct {
-	k     int
-	score map[uint64]int64 // item -> |estimate| at last offer
-	heap  []uint64         // min-heap on score
-	pos   map[uint64]int   // item -> index in heap
+	k    int
+	heap []topEntry     // min-heap on score
+	pos  map[uint64]int // item -> index in heap
+}
+
+// topEntry is one tracked candidate: the item and |estimate| at last offer.
+type topEntry struct {
+	item  uint64
+	score int64
 }
 
 func newTopTracker(k int) *topTracker {
 	return &topTracker{
-		k:     k,
-		score: make(map[uint64]int64, k+1),
-		pos:   make(map[uint64]int, k+1),
+		k:   k,
+		pos: make(map[uint64]int, k+1),
 	}
 }
 
 func (t *topTracker) offer(item uint64, est int64) {
 	a := util.AbsInt64(est)
 	if idx, ok := t.pos[item]; ok {
-		t.score[item] = a
+		t.heap[idx].score = a
 		t.fix(idx)
 		return
 	}
 	if len(t.heap) < t.k {
-		t.score[item] = a
-		t.heap = append(t.heap, item)
+		t.heap = append(t.heap, topEntry{item: item, score: a})
 		t.pos[item] = len(t.heap) - 1
 		t.up(len(t.heap) - 1)
 		return
 	}
-	min := t.heap[0]
-	if a <= t.score[min] {
+	if a <= t.heap[0].score {
 		return
 	}
-	delete(t.score, min)
-	delete(t.pos, min)
-	t.score[item] = a
-	t.heap[0] = item
+	delete(t.pos, t.heap[0].item)
+	t.heap[0] = topEntry{item: item, score: a}
 	t.pos[item] = 0
 	t.down(0)
 }
 
 func (t *topTracker) items() []uint64 {
 	out := make([]uint64, len(t.heap))
-	copy(out, t.heap)
+	for i, e := range t.heap {
+		out[i] = e.item
+	}
 	return out
 }
 
 func (t *topTracker) less(i, j int) bool {
-	return t.score[t.heap[i]] < t.score[t.heap[j]]
+	return t.heap[i].score < t.heap[j].score
 }
 
 func (t *topTracker) swap(i, j int) {
 	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
-	t.pos[t.heap[i]] = i
-	t.pos[t.heap[j]] = j
+	t.pos[t.heap[i].item] = i
+	t.pos[t.heap[j].item] = j
 }
 
 func (t *topTracker) up(i int) {

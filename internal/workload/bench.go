@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/engine"
+	"repro/internal/gfunc"
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+// The bench runner behind `gsum bench`: drive one scenario through one
+// ingestion backend, measure wall-clock throughput, and score the
+// estimate against the exact g-SUM. The three backends cover the three
+// deployment shapes of the repository — in-process serial, in-process
+// sharded parallel, and the gsumd worker/coordinator HTTP topology (spun
+// up in-process on loopback listeners, so a single `gsum bench
+// -backend daemon` run exercises the full distributed path end to end).
+
+// Backends lists the ingestion backends RunBench accepts.
+var Backends = []string{"serial", "parallel", "daemon"}
+
+// BenchSpec configures one bench run.
+type BenchSpec struct {
+	// Generator is the scenario to run.
+	Generator Generator
+	// Cfg parameterizes the generator.
+	Cfg Config
+	// G is the catalog function whose g-SUM is estimated.
+	G gfunc.Func
+	// Opts configures the one-pass estimator. Opts.N is overridden with
+	// Cfg.N so the estimator and stream always agree on the domain.
+	Opts core.Options
+	// Backend is one of Backends ("serial", "parallel", "daemon").
+	Backend string
+	// Workers is the shard count for the parallel and daemon backends
+	// (< 1 means GOMAXPROCS for parallel, 1 worker daemon for daemon).
+	Workers int
+	// PushBatch is the updates-per-request size for the daemon backend
+	// (0 = engine.DefaultBatchSize).
+	PushBatch int
+}
+
+// BenchResult reports one bench run.
+type BenchResult struct {
+	Workload      string
+	Backend       string
+	Workers       int
+	Updates       int
+	Distinct      int
+	GenElapsed    time.Duration
+	Elapsed       time.Duration // ingest + estimate, excluding generation
+	UpdatesPerSec float64
+	Exact         float64
+	Estimate      float64
+	RelErr        float64
+	SpaceBytes    int
+}
+
+// RunBench generates the scenario stream, ingests it through the
+// requested backend, and returns throughput plus estimate-vs-exact
+// accuracy. Determinism contract: for a fixed (Generator, Cfg, G, Opts),
+// the Estimate is identical across all three backends and any worker
+// count, as long as the candidate trackers stay within capacity (see
+// internal/core/parallel.go) — `gsum bench` is therefore also an
+// end-to-end check of the serial/parallel/distributed equality.
+func RunBench(spec BenchSpec) (BenchResult, error) {
+	if spec.Generator == nil {
+		return BenchResult{}, fmt.Errorf("workload: bench needs a generator")
+	}
+	cfg := spec.Cfg.withDefaults()
+	genStart := time.Now()
+	s := spec.Generator.Generate(cfg)
+	genElapsed := time.Since(genStart)
+
+	v := s.Vector()
+	exact := v.Sum(spec.G.Eval)
+
+	opts := spec.Opts
+	opts.N = s.N()
+
+	var est float64
+	var space int
+	var elapsed time.Duration
+	workers := 1
+	switch spec.Backend {
+	case "", "serial":
+		spec.Backend = "serial"
+		start := time.Now()
+		e := core.NewOnePass(spec.G, opts)
+		e.Process(s)
+		elapsed = time.Since(start)
+		est, space = e.Estimate(), e.SpaceBytes()
+	case "parallel":
+		workers = engine.Workers(spec.Workers)
+		start := time.Now()
+		e := core.NewOnePass(spec.G, opts)
+		if err := e.ProcessParallel(s, spec.Workers); err != nil {
+			return BenchResult{}, err
+		}
+		elapsed = time.Since(start)
+		est, space = e.Estimate(), e.SpaceBytes()
+	case "daemon":
+		// One worker daemon unless more were requested; GOMAXPROCS is a
+		// shard count, not a daemon count.
+		if workers = spec.Workers; workers < 1 {
+			workers = 1
+		}
+		var err error
+		est, space, elapsed, err = runDaemonBench(s, spec, opts, workers)
+		if err != nil {
+			return BenchResult{}, err
+		}
+	default:
+		return BenchResult{}, fmt.Errorf("workload: unknown backend %q (serial, parallel, daemon)", spec.Backend)
+	}
+
+	return BenchResult{
+		Workload:      spec.Generator.Name(),
+		Backend:       spec.Backend,
+		Workers:       workers,
+		Updates:       s.Len(),
+		Distinct:      v.F0(),
+		GenElapsed:    genElapsed,
+		Elapsed:       elapsed,
+		UpdatesPerSec: float64(s.Len()) / elapsed.Seconds(),
+		Exact:         exact,
+		Estimate:      est,
+		RelErr:        util.RelErr(est, exact),
+		SpaceBytes:    space,
+	}, nil
+}
+
+// localDaemon is one in-process gsumd instance on a loopback listener.
+type localDaemon struct {
+	srv    *http.Server
+	client *daemon.Client
+	base   string
+}
+
+// startDaemon builds a gsumd server for cfg and serves it on
+// 127.0.0.1:0 (kernel-assigned port).
+func startDaemon(cfg daemon.Config) (*localDaemon, error) {
+	s, err := daemon.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	return &localDaemon{srv: srv, client: daemon.NewClient(base, nil), base: base}, nil
+}
+
+func (d *localDaemon) close() { _ = d.srv.Close() }
+
+// runDaemonBench exercises the full distributed topology in-process:
+// `workers` worker daemons ingest disjoint contiguous shards of the
+// stream over HTTP (/v1/ingest), and a coordinator daemon pulls and
+// merges their snapshots (/v1/snapshot → /v1/merge) before answering
+// /v1/estimate. All daemons share the spec's configuration and seed, so
+// the merged estimate equals the serial one exactly (seed discipline +
+// linearity; the wire fingerprints enforce the former). The returned
+// duration covers ingest through estimate; daemon startup (listeners,
+// sketch construction) is excluded, mirroring how the other backends
+// exclude stream generation.
+func runDaemonBench(s *stream.Stream, spec BenchSpec, opts core.Options, workers int) (float64, int, time.Duration, error) {
+	dcfg := daemon.Config{
+		Backend: "onepass",
+		G:       spec.G.Name(),
+		N:       opts.N,
+		M:       opts.M,
+		Eps:     opts.Eps,
+		Delta:   opts.Delta,
+		Lambda:  opts.Lambda,
+		Seed:    opts.Seed,
+	}
+	coord, err := startDaemon(dcfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer coord.close()
+	ws := make([]*localDaemon, workers)
+	urls := make([]string, workers)
+	for i := range ws {
+		if ws[i], err = startDaemon(dcfg); err != nil {
+			return 0, 0, 0, err
+		}
+		defer ws[i].close()
+		urls[i] = ws[i].base
+	}
+
+	batch := spec.PushBatch
+	if batch <= 0 {
+		batch = engine.DefaultBatchSize
+	}
+	updates := s.Updates()
+	start := time.Now()
+	for i, w := range ws {
+		lo, hi := engine.Cut(len(updates), workers, i)
+		for b := lo; b < hi; b += batch {
+			e := b + batch
+			if e > hi {
+				e = hi
+			}
+			if err := w.client.Push(updates[b:e]); err != nil {
+				return 0, 0, 0, fmt.Errorf("worker %d: %w", i, err)
+			}
+		}
+	}
+	if err := coord.client.PullFrom(urls); err != nil {
+		return 0, 0, 0, err
+	}
+	resp, err := coord.client.Estimate(url.Values{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	est, ok := resp["estimate"].(float64)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("workload: daemon estimate response missing numeric estimate: %v", resp)
+	}
+	space := 0
+	if sb, err := coord.spaceBytes(); err == nil {
+		space = sb
+	}
+	return est, space, elapsed, nil
+}
+
+// spaceBytes reads the coordinator's reported sketch size from
+// /v1/config.
+func (d *localDaemon) spaceBytes() (int, error) {
+	resp, err := http.Get(d.base + "/v1/config")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var cfg struct {
+		SpaceBytes int `json:"space_bytes"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&cfg); err != nil {
+		return 0, err
+	}
+	return cfg.SpaceBytes, nil
+}

@@ -1,0 +1,143 @@
+// Package workload is the scenario-generation subsystem: a catalog of
+// deterministic, seeded stream generators with very different
+// heavy-hitter structure, so that accuracy and throughput claims can be
+// exercised across the traffic shapes a production aggregation service
+// actually sees — not just the uniform synthetic stream the early
+// benchmarks used.
+//
+// Every generator implements Generator: a pure function from Config
+// (domain, working-set cardinality, stream length, seed) to a
+// stream.Stream. Determinism is total — the same Config yields a
+// byte-identical stream on every run, every platform, and independent of
+// how the stream is later sharded — so workload streams plug directly
+// into the exact-equality contracts of internal/engine (serial ==
+// parallel == daemon-merged; see internal/core/parallel.go).
+//
+// The catalog (see Generators):
+//
+//	zipf      Zipfian / power-law item popularity (α = 1.1): the
+//	          canonical heavy-tailed workload g-SUM algorithms target.
+//	uniform   every working-set item equally likely: no heavy hitters,
+//	          the degenerate case heavy-hitter layers must not distort.
+//	needle    needle-in-a-haystack: one dominant key carries half the
+//	          stream over a uniform haystack — max-skew heavy-hitter
+//	          recall, and the shape of a hot-key cache stampede.
+//	bursty    clustered arrival order: items arrive in runs (geometric
+//	          lengths), the fast path for run-length batch collapse and
+//	          the worst case for per-update candidate tracking.
+//	permuted  a Zipf stream replayed in a seeded random permutation:
+//	          identical frequency vector to zipf with all arrival
+//	          locality destroyed — linear sketches must produce the
+//	          same estimates; order-sensitive optimizations must not
+//	          change results.
+//
+// The package also hosts the bench runner (bench.go) behind the
+// `gsum bench` subcommand, which drives any generator through the
+// serial, sharded-parallel, or daemon (HTTP worker/coordinator)
+// ingestion paths and reports throughput and estimate-vs-exact error.
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/stream"
+	"repro/internal/util"
+)
+
+// Config parameterizes a scenario. All generators are deterministic
+// functions of the full Config value.
+type Config struct {
+	// N is the domain size; generated items lie in [0, N).
+	N uint64
+	// Items is the working-set cardinality: the number of distinct items
+	// the generator draws from (clamped to N).
+	Items int
+	// Length is the number of updates in the generated stream.
+	Length int
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// withDefaults fills zero fields with bench-scale defaults.
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 1 << 16
+	}
+	if c.Items <= 0 {
+		c.Items = 4096
+	}
+	if uint64(c.Items) > c.N {
+		c.Items = int(c.N)
+	}
+	if c.Length <= 0 {
+		c.Length = 1 << 17
+	}
+	return c
+}
+
+// Generator is a deterministic scenario: it maps a Config to a turnstile
+// stream. Implementations must be pure — no hidden state, no global
+// randomness — so that the same (generator, Config) pair always yields a
+// byte-identical stream.
+type Generator interface {
+	// Name is the registry key (`gsum bench -workload <name>`).
+	Name() string
+	// Description is a one-line summary for usage text and docs.
+	Description() string
+	// Generate builds the stream for cfg.
+	Generate(cfg Config) *stream.Stream
+}
+
+// registry holds the default generator catalog in stable order.
+var registry = []Generator{
+	Zipf{Alpha: 1.1},
+	Uniform{},
+	Needle{},
+	Bursty{},
+	PermutedReplay{},
+}
+
+// Generators returns the default catalog in stable order.
+func Generators() []Generator {
+	out := make([]Generator, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the sorted names of the default catalog.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, g := range registry {
+		out[i] = g.Name()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup resolves a generator by name from the default catalog.
+func Lookup(name string) (Generator, bool) {
+	for _, g := range registry {
+		if g.Name() == name {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// workingSet draws cfg.Items distinct items from [0, N) deterministically.
+// Every generator derives its working set from the same fork index, so
+// two scenarios with the same Config share item identities — useful when
+// comparing estimates across workload shapes.
+func workingSet(cfg Config, rng *util.SplitMix64) []uint64 {
+	seen := make(map[uint64]struct{}, cfg.Items)
+	out := make([]uint64, 0, cfg.Items)
+	for len(out) < cfg.Items {
+		it := rng.Uint64n(cfg.N)
+		if _, ok := seen[it]; ok {
+			continue
+		}
+		seen[it] = struct{}{}
+		out = append(out, it)
+	}
+	return out
+}

@@ -20,24 +20,32 @@ import (
 // package.
 const MersennePrime61 uint64 = (1 << 61) - 1
 
-// mulmod returns (a * b) mod (2^61 - 1) using 128-bit intermediate
-// arithmetic followed by Mersenne reduction.
-func mulmod(a, b uint64) uint64 {
+// MulMod returns (a * b) mod (2^61 - 1) using 128-bit intermediate
+// arithmetic followed by Mersenne reduction. It is exported (together
+// with AddMod) so that hot loops elsewhere — the CountSketch row walk —
+// can evaluate flattened polynomial coefficients in place; the body is
+// branch-light and loop-free so the compiler can inline it into those
+// loops.
+func MulMod(a, b uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)
 	// a*b = hi*2^64 + lo. With p = 2^61 - 1, 2^61 ≡ 1 (mod p), so
 	// 2^64 ≡ 8 (mod p). Fold: result = hi*8 + lo (mod p), and lo itself
-	// folds as (lo >> 61) + (lo & p).
+	// folds as (lo >> 61) + (lo & p). The folded sum is at most
+	// (p) + 7 + (p) + 63 < 3p, so two conditional subtractions reduce it.
 	r := (lo & MersennePrime61) + (lo >> 61)
 	r += (hi << 3) & MersennePrime61
 	r += hi >> 58
-	for r >= MersennePrime61 {
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	if r >= MersennePrime61 {
 		r -= MersennePrime61
 	}
 	return r
 }
 
-// addmod returns (a + b) mod (2^61 - 1) for a, b < 2^61 - 1.
-func addmod(a, b uint64) uint64 {
+// AddMod returns (a + b) mod (2^61 - 1) for a, b < 2^61 - 1.
+func AddMod(a, b uint64) uint64 {
 	s := a + b
 	if s >= MersennePrime61 {
 		s -= MersennePrime61
@@ -83,13 +91,24 @@ func (p *Poly) Fingerprint(h uint64) uint64 {
 	return h
 }
 
+// AppendCoeffs appends the polynomial's coefficients (c[0] first) to dst
+// and returns the extended slice. Callers that evaluate many polynomials
+// in a tight loop — the CountSketch row walk — flatten all coefficients
+// into one contiguous array at construction time and run Horner's rule
+// inline with MulMod/AddMod, avoiding the per-evaluation pointer chase
+// through Poly. The appended values are exactly the ones Hash uses, so an
+// inline evaluation reproduces Hash bit for bit.
+func (p *Poly) AppendCoeffs(dst []uint64) []uint64 {
+	return append(dst, p.coeff...)
+}
+
 // Hash evaluates the polynomial at x (reduced mod p first) via Horner's rule.
 // The result lies in [0, 2^61 - 1).
 func (p *Poly) Hash(x uint64) uint64 {
 	x %= MersennePrime61
 	acc := uint64(0)
 	for i := len(p.coeff) - 1; i >= 0; i-- {
-		acc = addmod(mulmod(acc, x), p.coeff[i])
+		acc = AddMod(MulMod(acc, x), p.coeff[i])
 	}
 	return acc
 }
@@ -122,6 +141,13 @@ func (h *Buckets) Fingerprint(d uint64) uint64 {
 	return h.poly.Fingerprint(wire.Fingerprint(d, h.b))
 }
 
+// AppendCoeffs appends the underlying polynomial's coefficients to dst;
+// see Poly.AppendCoeffs. The bucket reduction (mod B) is not part of the
+// coefficients and must be applied by the inline evaluator.
+func (h *Buckets) AppendCoeffs(dst []uint64) []uint64 {
+	return h.poly.AppendCoeffs(dst)
+}
+
 // Sign is a k-wise independent hash into {-1, +1}, the ξ function of
 // CountSketch and the AMS sketch.
 type Sign struct {
@@ -137,6 +163,13 @@ func NewSign(k int, rng *util.SplitMix64) *Sign {
 // Fingerprint folds the sign hash's polynomial into the digest.
 func (h *Sign) Fingerprint(d uint64) uint64 {
 	return h.poly.Fingerprint(d)
+}
+
+// AppendCoeffs appends the underlying polynomial's coefficients to dst;
+// see Poly.AppendCoeffs. The sign is the low bit of the polynomial value
+// (1 → +1, 0 → −1) and must be applied by the inline evaluator.
+func (h *Sign) AppendCoeffs(dst []uint64) []uint64 {
+	return h.poly.AppendCoeffs(dst)
 }
 
 // Hash maps x to -1 or +1.

@@ -17,10 +17,10 @@ func TestMulmodMatchesBigArithmetic(t *testing.T) {
 		{MersennePrime61 - 1, 2}, {1 << 60, 1 << 60}, {123456789, 987654321},
 	}
 	for _, c := range cases {
-		got := mulmod(c.a, c.b)
+		got := MulMod(c.a, c.b)
 		want := slowMulmod(c.a, c.b)
 		if got != want {
-			t.Errorf("mulmod(%d, %d) = %d, want %d", c.a, c.b, got, want)
+			t.Errorf("MulMod(%d, %d) = %d, want %d", c.a, c.b, got, want)
 		}
 	}
 }
@@ -72,7 +72,7 @@ func mulSmall(a, b uint64) uint64 {
 
 func TestMulmodProperty(t *testing.T) {
 	f := func(a, b uint64) bool {
-		return mulmod(a%MersennePrime61, b%MersennePrime61) ==
+		return MulMod(a%MersennePrime61, b%MersennePrime61) ==
 			slowMulmod(a%MersennePrime61, b%MersennePrime61)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {

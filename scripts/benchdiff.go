@@ -4,14 +4,35 @@
 // noisy statistic on shared CI runners), and compares against the
 // committed baseline.
 //
+// # Usage
+//
+// Run the gated benchmark family and compare (what .github/workflows/ci.yml
+// does on every push):
+//
 //	go test -run '^$' -bench '^BenchmarkProcess' -benchtime 3x -count 3 . | tee bench.txt
 //	go run ./scripts -baseline BENCH_baseline.json -current bench.txt
 //
-// The job fails (exit 1) when any benchmark's ns/op exceeds
-// threshold × baseline (default 2x). Refresh the baseline after an
-// intentional performance change:
+// Exit codes: 0 when every benchmark is within threshold, 1 on a
+// regression (current ns/op > threshold × baseline, default 2x) or when
+// a baseline entry has no matching result in the run (a gated benchmark
+// was renamed or deleted without refreshing the baseline), 2 on usage or
+// parse errors.
+//
+// A benchmark present in the run but MISSING from the baseline —
+// typically a freshly added benchmark — is warned about on stderr and
+// skipped rather than silently passed: the gate cannot vouch for a
+// number it has nothing to compare against, so the warning tells you to
+// add the entry. Sub-benchmarks gate individually under their full name
+// (e.g. BenchmarkProcessWorkload/zipf).
+//
+// Refresh the baseline after an intentional performance change (this
+// rewrites every gated entry with the current run's minima):
 //
 //	go run ./scripts -current bench.txt -write BENCH_baseline.json
+//
+// To add entries for new benchmarks without disturbing committed ones
+// (e.g. when old entries double as a before/after record), write to a
+// temporary file and merge the new keys into BENCH_baseline.json by hand.
 package main
 
 import (
@@ -126,11 +147,18 @@ func run() int {
 	}
 	sort.Strings(names)
 	failed := false
+	missing := 0
 	for _, name := range names {
 		cur := got[name]
 		ref, ok := base.Benchmarks[name]
 		if !ok || ref <= 0 {
-			fmt.Printf("NEW   %-34s %12.0f ns/op (no baseline; refresh BENCH_baseline.json)\n", name, cur)
+			// Warn-and-skip, never silently pass: an ungated number is not a
+			// passing number. The warning goes to stderr so it survives
+			// stdout filtering in CI step summaries.
+			missing++
+			fmt.Printf("SKIP  %-34s %12.0f ns/op (no baseline entry)\n", name, cur)
+			fmt.Fprintf(os.Stderr, "benchdiff: WARNING: %s has no entry in %s and was NOT gated; add it (see -write in the header comment)\n",
+				name, *baselinePath)
 			continue
 		}
 		ratio := cur / ref
@@ -151,6 +179,10 @@ func run() int {
 	if failed {
 		fmt.Println("benchdiff: performance regression gate FAILED")
 		return 1
+	}
+	if missing > 0 {
+		fmt.Printf("benchdiff: all gated benchmarks within threshold (%d new benchmark(s) skipped — see warnings)\n", missing)
+		return 0
 	}
 	fmt.Println("benchdiff: all benchmarks within threshold")
 	return 0

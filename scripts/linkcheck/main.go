@@ -1,0 +1,142 @@
+// Command linkcheck is the documentation half of the CI docs gate: it
+// scans markdown files for inline links and fails when a relative link
+// points at a file that does not exist or an anchor that no heading
+// generates. It needs no network access — external http(s) links are
+// only checked for parseability — so it is safe on offline CI runners.
+//
+//	go run ./scripts/linkcheck README.md ARCHITECTURE.md EXPERIMENTS.md
+//
+// Checked per file:
+//
+//   - [text](relative/path): the path must exist relative to the
+//     markdown file's directory.
+//   - [text](path#anchor) and [text](#anchor): the target file (or the
+//     current file) must contain a heading whose GitHub-style slug
+//     equals the anchor.
+//   - [text](https://...): must parse as a URL; not fetched.
+//
+// Links that resolve outside the repository (e.g. the GitHub web-relative
+// ../../actions/... badge idiom) are skipped — they cannot be validated
+// from a checkout. Exit code 0 when all links are valid, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.*)$`)
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase,
+// drop everything but letters, digits, spaces, hyphens and underscores,
+// then turn spaces into hyphens.
+func slugify(heading string) string {
+	h := strings.ToLower(strings.TrimSpace(heading))
+	h = strings.ReplaceAll(h, "`", "")
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf returns the set of heading slugs of a markdown file.
+func anchorsOf(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	for _, m := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		out[slugify(m[1])] = true
+	}
+	return out, nil
+}
+
+// checkFile validates every link in one markdown file, appending
+// problems to errs. root is the repository root used to detect links
+// that escape the checkout.
+func checkFile(path, root string, errs *[]string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		*errs = append(*errs, fmt.Sprintf("%s: %v", path, err))
+		return
+	}
+	dir := filepath.Dir(path)
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		switch {
+		case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
+			if _, err := url.Parse(target); err != nil {
+				*errs = append(*errs, fmt.Sprintf("%s: unparseable URL %q", path, target))
+			}
+			continue
+		case strings.HasPrefix(target, "mailto:"):
+			continue
+		}
+		frag := ""
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target, frag = target[:i], target[i+1:]
+		}
+		resolved := path // in-file anchor
+		if target != "" {
+			resolved = filepath.Join(dir, target)
+			abs, err := filepath.Abs(resolved)
+			if err != nil {
+				*errs = append(*errs, fmt.Sprintf("%s: %v", path, err))
+				continue
+			}
+			rootAbs, _ := filepath.Abs(root)
+			if !strings.HasPrefix(abs+string(filepath.Separator), rootAbs+string(filepath.Separator)) {
+				continue // escapes the checkout (GitHub web-relative idiom): unverifiable
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				*errs = append(*errs, fmt.Sprintf("%s: broken link %q (%v)", path, m[1], err))
+				continue
+			}
+		}
+		if frag != "" && strings.HasSuffix(strings.ToLower(resolved), ".md") {
+			anchors, err := anchorsOf(resolved)
+			if err != nil {
+				*errs = append(*errs, fmt.Sprintf("%s: %v", path, err))
+				continue
+			}
+			if !anchors[frag] {
+				*errs = append(*errs, fmt.Sprintf("%s: broken anchor %q (no heading slugs to %q in %s)",
+					path, m[1], frag, resolved))
+			}
+		}
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	var errs []string
+	for _, path := range os.Args[1:] {
+		checkFile(path, ".", &errs)
+	}
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "linkcheck: "+e)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", len(errs))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) ok\n", len(os.Args)-1)
+}
