@@ -25,6 +25,7 @@ import (
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/util"
+	"repro/internal/window"
 	"repro/internal/workload"
 )
 
@@ -495,6 +496,101 @@ func BenchmarkProcessSnapshotMerge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		coord := core.NewOnePass(g, opts)
+		if err := coord.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- regression-gated window benchmarks (scripts/benchdiff) ---------------
+
+// The BenchmarkWindow* family joins BenchmarkProcess* in the CI
+// regression gate (scripts/benchdiff gates both prefixes against
+// BENCH_baseline.json). It covers the three windowed hot paths: ticked
+// ingestion, clock advancement (seal/compact/expire), and the
+// snapshot/merge wire cycle.
+
+// windowBenchTicked is the shared windowed scenario: the zipf workload
+// over 64 ticks, bench-scale like processBenchStream. Generated once
+// per process so the bench loops measure ingestion, not generation.
+func windowBenchTicked(length int) *workload.TickedStream {
+	return workload.Ticked(workload.Zipf{}, workload.Config{
+		N: 1 << 16, Items: 4096, Length: length, Seed: 7, Ticks: 64})
+}
+
+// BenchmarkWindowSerial is the windowed serial ingestion hot path:
+// estimator construction, tick-batched ingestion of a 128k-update
+// stream into a 16-tick window, and the final windowed estimate.
+func BenchmarkWindowSerial(b *testing.B) {
+	g := gfunc.F2Func()
+	opts := core.Options{N: 1 << 16, M: 1 << 10, Eps: 0.25, Seed: 7, Lambda: 1.0 / 16}
+	ts := windowBenchTicked(1 << 17)
+	updates := ts.Stream.Updates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := window.NewEstimator(g, opts, window.Config{W: 16, K: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = ts.EachRun(0, len(updates), func(lo, hi int, tick uint64) error {
+			return e.UpdateBatch(updates[lo:hi], tick)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = e.Estimate()
+	}
+	b.ReportMetric(float64(b.N)*float64(len(updates))/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkWindowAdvance isolates the clock: sealing, compacting, and
+// expiring buckets across 4096 ticks of a 64-tick window with
+// CountSketch buckets (no data, pure structure maintenance).
+func BenchmarkWindowAdvance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := window.New(window.Config{W: 64, K: 2}, func() *sketch.CountSketch {
+			return sketch.NewCountSketch(5, 1<<10, util.NewSplitMix64(1))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for tick := uint64(0); tick < 4096; tick += 7 {
+			w.Advance(tick)
+		}
+	}
+}
+
+// BenchmarkWindowSnapshotMerge is the windowed distributed hot path:
+// marshal a worker's populated window and fold it into an
+// identically-driven coordinator window via the wire format.
+func BenchmarkWindowSnapshotMerge(b *testing.B) {
+	g := gfunc.F2Func()
+	opts := core.Options{N: 1 << 16, M: 1 << 10, Eps: 0.25, Seed: 7, Lambda: 1.0 / 16}
+	cfg := window.Config{W: 16, K: 2}
+	ts := windowBenchTicked(1 << 15)
+	worker, err := window.NewEstimator(g, opts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, u := range ts.Stream.Updates() {
+		if err := worker.Update(u.Item, u.Delta, ts.Ticks[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data, err := worker.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		coord, err := window.NewEstimator(g, opts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord.Advance(worker.Now())
+		b.StartTimer()
 		if err := coord.UnmarshalBinary(data); err != nil {
 			b.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 //	gsum estimate -workers 8      ... with sharded parallel ingestion
 //	gsum bench -workload zipf     benchmark a workload scenario end to end
 //	gsum bench -backend daemon    ... through an in-process gsumd topology
+//	gsum bench -window 8          ... estimating only the last 8 ticks
 //	gsum experiments [-quick]     run the full E1-E15 experiment suite
 //	gsum experiments -run E4      run a single experiment
 //	gsum push [flags]             push a stream shard to a gsumd daemon
@@ -215,8 +216,15 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "random seed (stream and sketch)")
 	workers := fs.Int("workers", 1, "shards for parallel (0 = GOMAXPROCS) / worker daemons for daemon (min 1)")
 	backend := fs.String("backend", "serial", "ingestion backend: "+strings.Join(workload.Backends, ", "))
+	win := fs.Int("window", 0, "sliding-window mode: estimate only the last W ticks (0 = whole stream)")
+	ticks := fs.Int("ticks", workload.DefaultTicks, "tick span of the generated stream (windowed mode)")
+	windowk := fs.Int("windowk", 0, "histogram buckets per span class: higher = fewer stale ticks, more space (0 = default 2)")
 	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
 		return code
+	}
+	if *win < 0 || *ticks < 1 {
+		fmt.Fprintln(stderr, "gsum bench: -window must be >= 0 and -ticks >= 1")
+		return 2
 	}
 
 	validBackend := false
@@ -257,19 +265,29 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 
 	res, err := workload.RunBench(workload.BenchSpec{
 		Generator: gen,
-		Cfg:       workload.Config{N: *n, Items: *items, Length: *length, Seed: *seed},
+		Cfg:       workload.Config{N: *n, Items: *items, Length: *length, Seed: *seed, Ticks: *ticks},
 		G:         g,
 		Opts:      core.Options{M: 1 << 10, Eps: *eps, Seed: *seed * 7, Lambda: 1.0 / 16},
 		Backend:   *backend,
 		Workers:   *workers,
+		Window:    *win,
+		WindowK:   *windowk,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "gsum bench: %v\n", err)
 		return 1
 	}
 	fmt.Fprintf(stdout, "workload %s: %s\n", res.Workload, gen.Description())
-	fmt.Fprintf(stdout, "stream: %d updates, %d distinct items, domain %d (generated in %v)\n",
-		res.Updates, res.Distinct, *n, res.GenElapsed.Round(time.Millisecond))
+	distinctIn := "stream"
+	if res.Window > 0 {
+		distinctIn = "window"
+	}
+	fmt.Fprintf(stdout, "stream: %d updates, %d distinct items in %s, domain %d (generated in %v)\n",
+		res.Updates, res.Distinct, distinctIn, *n, res.GenElapsed.Round(time.Millisecond))
+	if res.Window > 0 {
+		fmt.Fprintf(stdout, "window: last %d of %d ticks (clock at %d, %d stale tick(s) included)\n",
+			res.Window, *ticks, res.LastTick, res.StaleTicks)
+	}
 	fmt.Fprintf(stdout, "backend %s (%d worker(s)): %.0f updates/s (%v)\n",
 		res.Backend, res.Workers, res.UpdatesPerSec, res.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "g = %s\n", g.Name())

@@ -324,3 +324,91 @@ func TestBenchUnknownBackendFails(t *testing.T) {
 		t.Errorf("stderr should name the backend catalog: %q", stderr)
 	}
 }
+
+// TestBenchWindowedRunsOnTwoScenarios: `gsum bench -window` runs end to
+// end on two workload scenarios and prints the window line.
+func TestBenchWindowedRunsOnTwoScenarios(t *testing.T) {
+	for _, w := range []string{"zipf", "bursty"} {
+		stdout, stderr, code := gsum(t, "bench", "-workload", w, "-window", "8",
+			"-ticks", "32", "-n", "4096", "-items", "128", "-len", "8000", "-seed", "3")
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr %q", w, code, stderr)
+		}
+		if !strings.Contains(stdout, "window: last 8 of 32 ticks") {
+			t.Fatalf("%s: missing window line in output:\n%s", w, stdout)
+		}
+		if !strings.Contains(stdout, "estimate ") {
+			t.Fatalf("%s: missing estimate line:\n%s", w, stdout)
+		}
+	}
+}
+
+// TestBenchWindowedBackendsPrintIdenticalEstimate is the windowed
+// three-backend equality at the CLI level.
+func TestBenchWindowedBackendsPrintIdenticalEstimate(t *testing.T) {
+	extract := func(stdout string) string {
+		for _, line := range strings.Split(stdout, "\n") {
+			if strings.HasPrefix(line, "estimate ") {
+				return strings.Fields(line)[1]
+			}
+		}
+		t.Fatalf("no estimate line in %q", stdout)
+		return ""
+	}
+	args := []string{"bench", "-workload", "zipf", "-window", "6", "-ticks", "24",
+		"-n", "4096", "-items", "128", "-len", "8000", "-seed", "3"}
+	serialOut, stderr, code := gsum(t, append(args, "-backend", "serial")...)
+	if code != 0 {
+		t.Fatalf("serial: exit %d, stderr %q", code, stderr)
+	}
+	parOut, stderr, code := gsum(t, append(args, "-backend", "parallel", "-workers", "3")...)
+	if code != 0 {
+		t.Fatalf("parallel: exit %d, stderr %q", code, stderr)
+	}
+	dmnOut, stderr, code := gsum(t, append(args, "-backend", "daemon", "-workers", "2")...)
+	if code != 0 {
+		t.Fatalf("daemon: exit %d, stderr %q", code, stderr)
+	}
+	se, pe, de := extract(serialOut), extract(parOut), extract(dmnOut)
+	if se != pe || se != de {
+		t.Fatalf("windowed estimates differ: serial %s, parallel %s, daemon %s", se, pe, de)
+	}
+}
+
+// TestBenchWindowKReducesStaleness: raising -windowk tightens the
+// stale-tick margin (the space/freshness tradeoff the README documents).
+func TestBenchWindowKReducesStaleness(t *testing.T) {
+	stale := func(k string) string {
+		stdout, stderr, code := gsum(t, "bench", "-workload", "zipf", "-window", "6",
+			"-ticks", "24", "-n", "4096", "-items", "128", "-len", "8000", "-seed", "3",
+			"-windowk", k)
+		if code != 0 {
+			t.Fatalf("windowk %s: exit %d, stderr %q", k, code, stderr)
+		}
+		for _, line := range strings.Split(stdout, "\n") {
+			if strings.HasPrefix(line, "window: ") {
+				return line
+			}
+		}
+		t.Fatalf("no window line in %q", stdout)
+		return ""
+	}
+	k2, k4 := stale("2"), stale("4")
+	if !strings.Contains(k2, "2 stale tick(s)") {
+		t.Fatalf("windowk 2: unexpected staleness line %q", k2)
+	}
+	if !strings.Contains(k4, "0 stale tick(s)") {
+		t.Fatalf("windowk 4: unexpected staleness line %q", k4)
+	}
+}
+
+// TestBenchWindowFlagValidation: nonsense window/tick values exit 2.
+func TestBenchWindowFlagValidation(t *testing.T) {
+	_, stderr, code := gsum(t, "bench", "-window", "-1")
+	if code != 2 || !strings.Contains(stderr, "-window") {
+		t.Fatalf("exit %d stderr %q, want usage failure", code, stderr)
+	}
+	if _, _, code := gsum(t, "bench", "-ticks", "0"); code != 2 {
+		t.Fatalf("-ticks 0 accepted (exit %d)", code)
+	}
+}

@@ -12,6 +12,13 @@
 // single-machine estimate over the whole stream — exactly, not
 // approximately. The wire format's fingerprint makes configuration drift
 // a 409 error instead of silent garbage.
+//
+// The window backend adds a clock: run every daemon with the same
+// -window (and optional -windowk), POST the tick to /v1/advance on
+// each daemon as time passes, and /v1/estimate answers over the last
+// -window ticks only (see internal/window for the expiry guarantees):
+//
+//	gsumd -backend window -f x^2 -window 8 -seed 42 -addr :7600
 package main
 
 import (
@@ -41,7 +48,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gsumd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7600", "listen address")
-	backend := fs.String("backend", "onepass", "countsketch | heavy | onepass | universal")
+	backend := fs.String("backend", "onepass", "countsketch | heavy | onepass | universal | window")
 	fname := fs.String("f", "x^2", "catalog function (heavy/onepass; default query for universal)")
 	n := fs.Uint64("n", 1<<12, "domain size")
 	m := fs.Int64("m", 1<<10, "max |frequency|")
@@ -53,6 +60,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	rows := fs.Int("rows", 0, "countsketch rows (0 = default 5)")
 	buckets := fs.Uint64("buckets", 0, "countsketch buckets (0 = default 1024)")
 	topk := fs.Int("topk", 0, "countsketch tracked candidates (0 = no tracker)")
+	win := fs.Uint64("window", 0, "window backend: estimate the last W ticks of the /v1/advance clock")
+	wink := fs.Int("windowk", 0, "window backend: histogram buckets per span class (0 = default 2)")
 	if code, ok := cliflag.Parse(fs, argv, stderr); !ok {
 		return code
 	}
@@ -61,6 +70,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Backend: *backend, G: *fname, N: *n, M: *m,
 		Eps: *eps, Delta: *delta, Lambda: *lambda, Seed: *seed,
 		Envelope: *envelope, Rows: *rows, Buckets: *buckets, TopK: *topk,
+		Window: *win, WindowK: *wink,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)

@@ -92,6 +92,42 @@ func ExampleNewUniversalSketch() {
 	// F1 exact 250, post-hoc estimate within 25%: true
 }
 
+// ExampleWindow estimates F2 over only the last 4 ticks of a stream:
+// early traffic expires as the clock advances, so the windowed estimate
+// tracks the recent suffix, not the whole history.
+func ExampleWindow() {
+	g := universal.F2()
+	win, err := universal.NewWindow(g,
+		universal.Options{N: 1 << 10, M: 1 << 10, Seed: 2},
+		universal.WindowConfig{W: 4})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Ticks 0..9: at tick t, items 0..15 each arrive once.
+	for tick := uint64(0); tick < 10; tick++ {
+		for i := uint64(0); i < 16; i++ {
+			if err := win.Update(i, 1, tick); err != nil {
+				fmt.Println(err)
+				return
+			}
+		}
+	}
+	// The window covers ticks 6..9 (plus at most StaleBound stale
+	// ticks): each item has frequency 4..4+StaleBound there, far below
+	// its all-time frequency 10.
+	est := win.Estimate()
+	wholeStream := 16 * float64(10*10)
+	windowOnly := 16 * float64(4*4)
+	maxCovered := 16 * float64((4+win.StaleBound())*(4+win.StaleBound()))
+	fmt.Printf("estimate in [window, window+stale]: %v\n",
+		est >= windowOnly && est <= maxCovered)
+	fmt.Printf("well below whole-stream F2: %v\n", est < wholeStream/2)
+	// Output:
+	// estimate in [window, window+stale]: true
+	// well below whole-stream F2: true
+}
+
 // within reports |est - exact| <= frac * exact.
 func within(est, exact, frac float64) bool {
 	diff := est - exact

@@ -1,8 +1,3 @@
-// Package cliflag centralizes subcommand flag parsing for the cmd/
-// binaries, so -h, unknown flags, and stray positional arguments behave
-// identically everywhere: -h prints the defaults and exits 0; an
-// unknown flag or an unexpected positional argument prints a usage
-// message and exits 2 — never a silent fall-through.
 package cliflag
 
 import (

@@ -1,0 +1,10 @@
+// Package cliflag centralizes subcommand flag parsing for the cmd/
+// binaries, so -h, unknown flags, and stray positional arguments behave
+// identically everywhere: -h prints the defaults and exits 0; an
+// unknown flag or an unexpected positional argument prints a usage
+// message and exits 2 — never a silent fall-through.
+//
+// Layer: satellite of the cmd/ layer in ARCHITECTURE.md's map — it
+// shapes CLI ergonomics only and imports nothing from the spine.
+// Seed discipline: none; this package touches no randomness.
+package cliflag

@@ -1,0 +1,20 @@
+// Package comm implements the paper's communication-complexity machinery as
+// executable artifacts: instance generators for the INDEX, DISJ(n,t),
+// DISJ+IND(n,t) reductions of Lemmas 23-25 and 27-28, and the new
+// ShortLinearCombination / (a,b,c)-DIST problem of Appendix C together with
+// its matching O(n/q²)-space algorithm (Proposition 49).
+//
+// A lower bound cannot be "run", but its reduction can: each lemma
+// prescribes an exact pair of streams (intersecting / disjoint instance)
+// whose g-SUM values differ by a constant factor. The Distinguisher harness
+// feeds both streams to a candidate estimator and measures how reliably it
+// separates them; undersized sketches must fail (the paper's lower bound),
+// while the exact algorithm always succeeds. Experiments E4-E6 are built on
+// this harness.
+//
+// Layer: satellite off the spine in ARCHITECTURE.md (lower-bound
+// machinery), used by the experiments harness; it builds on
+// internal/stream only.
+// Seed discipline: protocols are deterministic given their explicit
+// seeds; no sketch state is merged, so no merge contract applies.
+package comm

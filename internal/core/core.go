@@ -1,18 +1,3 @@
-// Package core implements the paper's primary deliverable: sub-polynomial
-// space (1±ε)-approximation of g-SUM = Σ_i g(|v_i|) on turnstile streams.
-//
-// Three estimators are provided:
-//
-//   - OnePass: Algorithm 2 + the recursive sketch (Theorem 2's upper
-//     bound) — works for slow-jumping, slow-dropping, predictable g;
-//   - TwoPass: Algorithm 1 + the recursive sketch (Theorem 3's upper
-//     bound) — drops the predictability requirement by tabulating exact
-//     frequencies in a second pass;
-//   - Exact: the linear-space baseline.
-//
-// Universal provides the function-independent sketch of Section 1.1.1:
-// one pass over the stream, then post-hoc g-SUM queries for any function
-// in a family (used by the approximate-MLE application).
 package core
 
 import (
@@ -73,6 +58,14 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// EnvelopeFor resolves the envelope H(M) for g under the options — the
+// exact defaulting the estimator constructors apply (Envelope override,
+// M clamp, cap for functions with no finite envelope). Exported so
+// layers that pre-pin the envelope into shared Options (internal/window
+// builds many estimators that must resolve to byte-identical
+// configuration) cannot drift from the constructors' policy.
+func EnvelopeFor(g gfunc.Func, o Options) float64 { return envelopeFor(g, o) }
 
 // envelopeFor resolves the envelope H(M) for g under the options.
 func envelopeFor(g gfunc.Func, o Options) float64 {

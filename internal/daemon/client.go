@@ -61,6 +61,31 @@ func (c *Client) Push(updates []stream.Update) error {
 	return nil
 }
 
+// Advance moves a window backend's tick clock to tick via /v1/advance
+// and returns the daemon's resulting clock (past ticks are a no-op, so
+// the returned clock may be ahead of the argument).
+func (c *Client) Advance(tick uint64) (uint64, error) {
+	body, err := json.Marshal(AdvanceRequest{Tick: tick})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/advance", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Tick uint64 `json:"tick"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Tick, nil
+}
+
 // Snapshot fetches the daemon's serialized sketch state.
 func (c *Client) Snapshot() ([]byte, error) {
 	resp, err := c.hc.Get(c.base + "/v1/snapshot")

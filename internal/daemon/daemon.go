@@ -1,28 +1,3 @@
-// Package daemon implements gsumd, the distributed g-SUM aggregation
-// service: an HTTP daemon (stdlib net/http only) wrapping one sketch
-// backend. Because every backend is a linear sketch with a checked wire
-// format, N worker daemons ingesting disjoint shards of a stream and one
-// coordinator daemon merging their snapshots reproduce the single-machine
-// estimate exactly — same seed, same bytes.
-//
-// Endpoints (all under /v1):
-//
-//	POST /v1/ingest    JSON {"updates": [[item, delta], ...]} — batched
-//	                   turnstile updates, routed through internal/engine.
-//	GET  /v1/snapshot  the serialized sketch state (application/octet-stream).
-//	POST /v1/merge     a serialized shard sketch to fold in (the body is a
-//	                   /v1/snapshot payload from a worker with the same
-//	                   configuration and seed; the fingerprint is checked).
-//	GET  /v1/estimate  the backend's estimate as JSON; parameters depend
-//	                   on the backend (?g=<name> for universal, ?item=<id>
-//	                   for countsketch point queries).
-//	GET  /v1/config    the daemon's configuration (sanity check that two
-//	                   daemons can merge before shipping counters).
-//	GET  /healthz      liveness.
-//
-// The deployment topology mirrors the cmd/server + cmd/worker split of
-// distributed work-queue systems: workers sit close to the traffic and
-// absorb updates; the coordinator owns the query surface.
 package daemon
 
 import (
@@ -42,6 +17,7 @@ import (
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/util"
+	"repro/internal/window"
 )
 
 // maxBodyBytes caps request bodies (ingest batches and shard snapshots).
@@ -50,10 +26,11 @@ const maxBodyBytes = 64 << 20
 // Config selects and parameterizes a backend. The same Config (and Seed)
 // must be given to every daemon that participates in one aggregation.
 type Config struct {
-	// Backend is one of "countsketch", "heavy", "onepass", "universal".
+	// Backend is one of "countsketch", "heavy", "onepass", "universal",
+	// "window".
 	Backend string `json:"backend"`
-	// G names the catalog function (heavy and onepass backends; ignored
-	// by countsketch; the default query function for universal).
+	// G names the catalog function (heavy, onepass, and window backends;
+	// ignored by countsketch; the default query function for universal).
 	G string `json:"g,omitempty"`
 	// N, M, Eps, Delta, Lambda, Seed parameterize the sketches exactly as
 	// core.Options (estimator backends) or the raw dimensions below
@@ -71,6 +48,12 @@ type Config struct {
 	Rows    int    `json:"rows,omitempty"`
 	Buckets uint64 `json:"buckets,omitempty"`
 	TopK    int    `json:"topk,omitempty"`
+	// Window (ticks) and WindowK (exponential-histogram capacity) size
+	// the window backend: estimates cover the last Window ticks of the
+	// /v1/advance clock. Every daemon in one windowed aggregation must
+	// advance through the same tick sequence.
+	Window  uint64 `json:"window,omitempty"`
+	WindowK int    `json:"window_k,omitempty"`
 }
 
 // backend is one mergeable sketch behind the HTTP surface.
@@ -80,6 +63,10 @@ type backend interface {
 	merge(data []byte) error
 	estimate(q url.Values) (interface{}, error)
 	spaceBytes() int
+	// advance moves the backend's tick clock and returns the resulting
+	// clock value (window backend only; the whole-stream backends have no
+	// clock and return an error).
+	advance(tick uint64) (uint64, error)
 }
 
 // Server wraps a backend with the gsumd HTTP surface. Sketches are not
@@ -145,6 +132,20 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		be = &onePassBackend{est: core.NewOnePass(g, cfg.options())}
+	case "window":
+		g, err := catalogFunc(cfg.G)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Window == 0 {
+			return nil, fmt.Errorf("daemon: window backend needs a positive window length (ticks)")
+		}
+		est, err := window.NewEstimator(g, cfg.options(),
+			window.Config{W: cfg.Window, K: cfg.WindowK})
+		if err != nil {
+			return nil, err
+		}
+		be = &windowBackend{est: est}
 	case "universal":
 		opts := cfg.options()
 		if opts.Envelope == 0 && cfg.G != "" {
@@ -160,7 +161,7 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		be = &universalBackend{u: core.NewUniversal(opts)}
 	default:
-		return nil, fmt.Errorf("daemon: unknown backend %q (countsketch, heavy, onepass, universal)", cfg.Backend)
+		return nil, fmt.Errorf("daemon: unknown backend %q (countsketch, heavy, onepass, universal, window)", cfg.Backend)
 	}
 	return &Server{cfg: cfg, be: be}, nil
 }
@@ -181,7 +182,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/merge", s.handleMerge)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/advance", s.handleAdvance)
 	return mux
+}
+
+// AdvanceRequest is the /v1/advance body: the tick to move the window
+// clock to. Past ticks are a no-op (the clock never moves backward), so
+// several pushers may synchronize by all posting the same tick.
+type AdvanceRequest struct {
+	Tick uint64 `json:"tick"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -282,6 +291,26 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "merged"})
 }
 
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req AdvanceRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad advance body: %w", err))
+		return
+	}
+	s.mu.Lock()
+	now, err := s.be.advance(req.Tick)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"tick": now})
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
@@ -308,6 +337,14 @@ func (b *countSketchBackend) ingest(batch []stream.Update) { engine.Ingest(b.cs,
 func (b *countSketchBackend) snapshot() ([]byte, error)    { return b.cs.MarshalBinary() }
 func (b *countSketchBackend) merge(data []byte) error      { return b.cs.UnmarshalBinary(data) }
 func (b *countSketchBackend) spaceBytes() int              { return b.cs.SpaceBytes() }
+func (b *countSketchBackend) advance(uint64) (uint64, error) {
+	return 0, errNoClock("countsketch")
+}
+
+// errNoClock is the /v1/advance answer of every whole-stream backend.
+func errNoClock(backend string) error {
+	return fmt.Errorf("daemon: backend %q summarizes the whole stream and has no tick clock; use the window backend", backend)
+}
 
 func (b *countSketchBackend) estimate(q url.Values) (interface{}, error) {
 	if it := q.Get("item"); it != "" {
@@ -355,6 +392,9 @@ func (b *heavyBackend) ingest(batch []stream.Update) { b.op.UpdateBatch(batch) }
 func (b *heavyBackend) snapshot() ([]byte, error)    { return b.op.MarshalBinary() }
 func (b *heavyBackend) merge(data []byte) error      { return b.op.UnmarshalBinary(data) }
 func (b *heavyBackend) spaceBytes() int              { return b.op.SpaceBytes() }
+func (b *heavyBackend) advance(uint64) (uint64, error) {
+	return 0, errNoClock("heavy")
+}
 
 func (b *heavyBackend) estimate(url.Values) (interface{}, error) {
 	cover := b.op.Cover()
@@ -374,6 +414,9 @@ func (b *onePassBackend) ingest(batch []stream.Update) { b.est.UpdateBatch(batch
 func (b *onePassBackend) snapshot() ([]byte, error)    { return b.est.MarshalBinary() }
 func (b *onePassBackend) merge(data []byte) error      { return b.est.UnmarshalBinary(data) }
 func (b *onePassBackend) spaceBytes() int              { return b.est.SpaceBytes() }
+func (b *onePassBackend) advance(uint64) (uint64, error) {
+	return 0, errNoClock("onepass")
+}
 
 func (b *onePassBackend) estimate(url.Values) (interface{}, error) {
 	return map[string]interface{}{"estimate": b.est.Estimate()}, nil
@@ -390,6 +433,44 @@ func (b *universalBackend) ingest(batch []stream.Update) { b.u.UpdateBatch(batch
 func (b *universalBackend) snapshot() ([]byte, error)    { return b.u.MarshalBinary() }
 func (b *universalBackend) merge(data []byte) error      { return b.u.UnmarshalBinary(data) }
 func (b *universalBackend) spaceBytes() int              { return b.u.SpaceBytes() }
+func (b *universalBackend) advance(uint64) (uint64, error) {
+	return 0, errNoClock("universal")
+}
+
+// windowBackend serves the sliding-window g-SUM estimator: /v1/ingest
+// applies updates at the current tick, /v1/advance moves the clock, and
+// /v1/estimate answers over the trailing window. Merging requires the
+// sender to have been advanced through the same tick sequence (the
+// boundary check in internal/window's wire format enforces it).
+type windowBackend struct {
+	est *window.Estimator
+}
+
+func (b *windowBackend) ingest(batch []stream.Update) {
+	// Ingest at the backend's own clock; a past-tick error is impossible.
+	_ = b.est.UpdateBatch(batch, b.est.Now())
+}
+func (b *windowBackend) snapshot() ([]byte, error) { return b.est.MarshalBinary() }
+func (b *windowBackend) merge(data []byte) error   { return b.est.UnmarshalBinary(data) }
+func (b *windowBackend) spaceBytes() int           { return b.est.SpaceBytes() }
+
+func (b *windowBackend) advance(tick uint64) (uint64, error) {
+	// Arbitrarily large jumps are safe: window.Advance fast-forwards
+	// across spans that expire everything instead of replaying each
+	// elapsed tick, so a client posting wall-clock epoch ticks cannot
+	// stall the daemon under its state lock.
+	b.est.Advance(tick)
+	return b.est.Now(), nil
+}
+
+func (b *windowBackend) estimate(url.Values) (interface{}, error) {
+	return map[string]interface{}{
+		"estimate":    b.est.Estimate(),
+		"tick":        b.est.Now(),
+		"window":      b.est.Config().W,
+		"stale_ticks": b.est.Stale(),
+	}, nil
+}
 
 func (b *universalBackend) estimate(q url.Values) (interface{}, error) {
 	name := q.Get("g")

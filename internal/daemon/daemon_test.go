@@ -11,6 +11,7 @@ import (
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/util"
+	"repro/internal/window"
 )
 
 // testStream is a seeded Zipf stream whose distinct-item count stays
@@ -196,5 +197,165 @@ func TestNewServerValidatesConfig(t *testing.T) {
 	}
 	if _, err := NewServer(Config{Backend: "countsketch"}); err == nil {
 		t.Error("expected zero-domain error")
+	}
+}
+
+// windowCluster spins up two window-backend workers and a coordinator,
+// drives disjoint halves of a ticked stream through the workers
+// (advancing every clock through the same tick sequence), merges, and
+// returns the coordinator client.
+func windowCluster(t *testing.T, cfg Config, updates []stream.Update, ticks []uint64) *Client {
+	t.Helper()
+	mk := func() *Client {
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return NewClient(ts.URL, nil)
+	}
+	w1, w2, coord := mk(), mk(), mk()
+	last := ticks[len(ticks)-1]
+	push := func(c *Client, lo, hi int) {
+		for lo < hi {
+			run := lo + 1
+			for run < hi && ticks[run] == ticks[lo] {
+				run++
+			}
+			if _, err := c.Advance(ticks[lo]); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Push(updates[lo:run]); err != nil {
+				t.Fatal(err)
+			}
+			lo = run
+		}
+		if _, err := c.Advance(last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := len(updates)
+	push(w1, 0, n/2)
+	push(w2, n/2, n)
+	if _, err := coord.Advance(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.PullFrom([]string{w1.base, w2.base}); err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// TestE2EWindowBackend: the coordinator's windowed estimate equals a
+// single-process window.Estimator fed the whole ticked stream — exactly
+// — and reports the clock and stale-tick diagnostics.
+func TestE2EWindowBackend(t *testing.T) {
+	s := testStream(5)
+	updates := s.Updates()
+	ticks := make([]uint64, len(updates))
+	for i := range ticks {
+		ticks[i] = uint64(i) * 32 / uint64(len(updates))
+	}
+	cfg := Config{Backend: "window", G: "x^2", N: 1 << 12, M: 1 << 10,
+		Seed: 23, Lambda: 1.0 / 16, Window: 6, WindowK: 2}
+
+	ref, err := window.NewEstimator(gfunc.F2Func(), cfg.options(), window.Config{W: 6, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range updates {
+		if err := ref.Update(u.Item, u.Delta, ticks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Advance(ticks[len(ticks)-1])
+
+	cc := windowCluster(t, cfg, updates, ticks)
+	resp, err := cc.Estimate(url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp["estimate"].(float64); got != ref.Estimate() {
+		t.Fatalf("daemon windowed estimate %v != single-process %v", got, ref.Estimate())
+	}
+	if tick := resp["tick"].(float64); uint64(tick) != ref.Now() {
+		t.Fatalf("daemon clock %v != %d", tick, ref.Now())
+	}
+	if stale := resp["stale_ticks"].(float64); uint64(stale) != ref.Stale() {
+		t.Fatalf("daemon stale %v != %d", stale, ref.Stale())
+	}
+}
+
+// TestAdvanceEndpoint: past ticks are a no-op, non-window backends
+// refuse, and the window backend requires a window length.
+func TestAdvanceEndpoint(t *testing.T) {
+	srv, err := NewServer(Config{Backend: "window", G: "x^2", N: 1 << 10, M: 1 << 8,
+		Seed: 1, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, nil)
+	now, err := c.Advance(9)
+	if err != nil || now != 9 {
+		t.Fatalf("advance to 9: now=%d err=%v", now, err)
+	}
+	now, err = c.Advance(3) // past tick: clock must not move backward
+	if err != nil || now != 9 {
+		t.Fatalf("advance to past tick: now=%d err=%v", now, err)
+	}
+
+	// A wall-clock-sized jump completes immediately (window.Advance
+	// fast-forwards) instead of replaying ~10^9 ticks under the lock.
+	if now, err := c.Advance(1753680000); err != nil || now != 1753680000 {
+		t.Fatalf("epoch-seconds jump: now=%d err=%v", now, err)
+	}
+
+	plain, err := NewServer(Config{Backend: "onepass", G: "x^2", N: 1 << 10, M: 1 << 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsp := httptest.NewServer(plain.Handler())
+	t.Cleanup(tsp.Close)
+	if _, err := NewClient(tsp.URL, nil).Advance(1); err == nil {
+		t.Fatal("onepass backend accepted /v1/advance")
+	}
+
+	if _, err := NewServer(Config{Backend: "window", G: "x^2", N: 1 << 10, M: 1 << 8, Seed: 1}); err == nil {
+		t.Fatal("window backend built without a window length")
+	}
+}
+
+// TestWindowMergeRejectsClockDrift: a coordinator that was not advanced
+// to the workers' tick must refuse the snapshot (409 via /v1/merge).
+func TestWindowMergeRejectsClockDrift(t *testing.T) {
+	cfg := Config{Backend: "window", G: "x^2", N: 1 << 10, M: 1 << 8, Seed: 2, Window: 4}
+	mk := func() *Client {
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return NewClient(ts.URL, nil)
+	}
+	worker, coord := mk(), mk()
+	if _, err := worker.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := worker.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Merge(snap); err == nil {
+		t.Fatal("coordinator at tick 0 merged a tick-5 snapshot")
+	}
+	if _, err := coord.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Merge(snap); err != nil {
+		t.Fatalf("merge after synchronizing clocks: %v", err)
 	}
 }

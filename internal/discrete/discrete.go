@@ -1,18 +1,3 @@
-// Package discrete implements Appendix D.4: the discretized model of the
-// function class and the counting argument (Theorem 57) showing that
-// nearly periodic functions are vanishingly rare.
-//
-// The model fixes M, M' ∈ poly(n) and considers
-//
-//	GD = { g : [M]0 → [M']0 : g(0) = 0, g(1) = M', g(x) > 0 for x > 0 }.
-//
-// Bn ⊆ GD is the discretized analogue of the nearly periodic functions:
-// (1) some pair has a (log n)^8 drop, and (2) every pair with at least a
-// ½(log n)^8 drop nearly repeats at the reduction's offsets. Tn contains
-// the witness family of Lemma 59 (functions with minimum value at least
-// M'/log n, all of which are approximable in polylog space because every
-// point query error is a relative error). Theorem 57: |Bn|/|Tn| <=
-// 2^{-Ω(M log log n)}.
 package discrete
 
 import (

@@ -1,0 +1,19 @@
+// Package encode implements the Section 1.1.4 construction: reducing a
+// function of a frequency *matrix* to a function of a single variable.
+//
+// Given frequencies f_{i,j} with i ∈ [n], j ∈ [k], and 0 <= f_{i,j} < b,
+// an update to coordinate (i, j) is replaced by b^j copies of item i. The
+// packed frequency f'_i then carries (f_{i,1}, ..., f_{i,k}) as its base-b
+// expansion, so Σ_i g(f_{i,1}, ..., f_{i,k}) = Σ_i g'(f'_i) for
+// g'(x) = g(digits_b(x)).
+//
+// The paper's point: even for well-behaved g, the induced g' has high
+// local variability (adding 1 to the packed value changes the low digit
+// completely), so g' is typically not predictable — one-pass algorithms
+// fail (Lemma 25), while the two-pass algorithm is insensitive to local
+// variability and still works. Experiment E11 measures exactly this.
+//
+// Layer: satellite off the spine in ARCHITECTURE.md, supporting the
+// communication-complexity reductions (internal/comm).
+// Seed discipline: pure encodings, no randomness.
+package encode

@@ -1,0 +1,30 @@
+// Package engine is the sharded, batched, concurrent ingestion engine
+// behind the public estimators.
+//
+// Every summary in this repository is a linear sketch: the state reached
+// by processing a stream is the sum of the states reached by processing
+// any partition of it (core/merge.go, heavy/merge.go, recursive/merge.go).
+// The engine exploits that in two independent ways:
+//
+//   - Batching: UpdateBatch paths aggregate duplicate items and touch
+//     each counter row once per distinct item, amortizing hash
+//     evaluations and bounds checks on the hot path.
+//   - Sharding: Process partitions a stream into contiguous chunks, one
+//     per worker, ingests every chunk into a worker-owned shard sketch
+//     (same seed, hence identical hash functions), and folds the shards
+//     together with the linearity-based merges.
+//
+// Both transformations are exact on the counter state — integer addition
+// is associative and commutative — so a parallel run is deterministic
+// given (stream, seed, worker count), independent of goroutine
+// scheduling: chunk boundaries are a pure function of the lengths, and
+// shards merge in index order after all workers finish.
+//
+// Layer: the harness layer of ARCHITECTURE.md — transport between
+// streams and sketches; it owns the Sketcher/BatchSketcher/Mergeable
+// contracts every summary implements.
+// Seed discipline: Process builds every shard through one newShard
+// factory, so all shards share one seed and merge by linearity; the
+// factory returning differently-seeded sketches is the one unchecked
+// way to break it (the wire layer checks; in-process merges trust).
+package engine

@@ -1,13 +1,3 @@
-// Package heavy implements the paper's heavy-hitter layer:
-//
-//   - Definition 11/12: (g, λ)-heavy hitters and (g, λ, ε)-covers;
-//   - Algorithm 1: the 2-pass (g, λ, 0, δ)-heavy-hitter algorithm
-//     (CountSketch pass to identify candidates, exact tabulation pass);
-//   - Algorithm 2: the 1-pass (g, λ, ε, δ)-heavy-hitter algorithm
-//     (CountSketch + AMS F2, then the predictability pruning step);
-//   - the dedicated 1-pass algorithm for the nearly periodic function g_np
-//     from Appendix D.1;
-//   - an exact baseline for ground truth in tests and experiments.
 package heavy
 
 import (

@@ -1,7 +1,3 @@
-// Package sketch implements the linear sketches the paper's algorithms are
-// built from: CountSketch (Charikar, Chen, Farach-Colton), the AMS F2
-// tug-of-war sketch, and a Count-Min baseline. All sketches are linear in
-// the frequency vector, mergeable, and deterministic given a seed.
 package sketch
 
 import (

@@ -1,0 +1,14 @@
+// Package sketch implements the linear sketches the paper's algorithms are
+// built from: CountSketch (Charikar, Chen, Farach-Colton), the AMS F2
+// tug-of-war sketch, and a Count-Min baseline. All sketches are linear in
+// the frequency vector, mergeable, and deterministic given a seed.
+//
+// Layer: the sketch layer of ARCHITECTURE.md, directly above
+// internal/xhash.
+// Seed discipline: a sketch's hash functions are drawn from the
+// constructor rng in fixed per-row order (bucket hash, then sign
+// hash); Merge and UnmarshalBinary are only meaningful between
+// same-dimension, same-seed sketches — dimensions are checked
+// in-process, and the wire fingerprint checks the hash coefficients
+// themselves.
+package sketch

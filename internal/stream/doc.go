@@ -1,0 +1,15 @@
+// Package stream implements the turnstile streaming model of the paper:
+// a stream of length m over domain [n] is a list of updates (i, δ) with
+// i ∈ [n] and δ ∈ Z, and the frequency vector V(D) has v_i = Σ_{j: i_j = i} δ_j.
+//
+// The package provides the stream and frequency-vector types, the D(n, m)
+// model constraints (every prefix must keep |v_i| <= M), and deterministic
+// workload generators used by the experiments: uniform, Zipfian,
+// planted-heavy-hitter, and the adversarial streams from the paper's
+// communication-complexity reductions.
+//
+// Layer: substrate in ARCHITECTURE.md — the turnstile model every
+// higher layer consumes.
+// Seed discipline: generators are pure functions of their explicit
+// seed configs; streams themselves carry no randomness.
+package stream

@@ -1,0 +1,9 @@
+// Package util provides small shared helpers used across the repro:
+// deterministic RNG plumbing, order statistics, and float comparisons.
+//
+// Layer: substrate in ARCHITECTURE.md.
+// Seed discipline: SplitMix64 is the repository's only randomness
+// source, and Fork order is part of every constructor's contract —
+// "same seed" means "same hash functions" only because forks happen
+// in a fixed order.
+package util

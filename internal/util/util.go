@@ -1,5 +1,3 @@
-// Package util provides small shared helpers used across the repro:
-// deterministic RNG plumbing, order statistics, and float comparisons.
 package util
 
 import (

@@ -1,0 +1,195 @@
+package window
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/util"
+)
+
+// drivenWindow builds a CountSketch-bucket window advanced through a
+// fixed tick sequence, optionally fed data.
+func drivenWindow(t *testing.T, seed uint64, fill bool) *Window[*sketch.CountSketch] {
+	t.Helper()
+	w, err := New(Config{W: 10, K: 2}, func() *sketch.CountSketch {
+		return sketch.NewCountSketch(3, 32, util.NewSplitMix64(seed))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range randomDrive(13, 800) {
+		if fill {
+			if err := w.Update(u.item, 1, u.tick); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			w.Advance(u.tick)
+		}
+	}
+	return w
+}
+
+// TestWindowWireRoundTrip: decoding a snapshot into an empty window
+// driven through the same ticks reproduces the sender byte for byte,
+// and decoding it twice doubles the counters (merge semantics).
+func TestWindowWireRoundTrip(t *testing.T) {
+	src := drivenWindow(t, 1, true)
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := drivenWindow(t, 1, false)
+	if err := dst.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	round, err := dst.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(round, data) {
+		t.Fatal("round-tripped snapshot differs from original")
+	}
+
+	if err := dst.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	// Merge semantics: wire-merging the same shard twice must equal an
+	// in-process double merge.
+	twice := drivenWindow(t, 1, false)
+	if err := twice.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := twice.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	wantDouble, _ := twice.MarshalBinary()
+	gotDouble, _ := dst.MarshalBinary()
+	if !bytes.Equal(gotDouble, wantDouble) {
+		t.Fatal("wire double-merge differs from in-process double merge")
+	}
+}
+
+// TestWindowWireMergeEqualsInProcess: shipping shard B's snapshot into
+// shard A equals A.Merge(B).
+func TestWindowWireMergeEqualsInProcess(t *testing.T) {
+	mkShard := func(lo, hi int) *Window[*sketch.CountSketch] {
+		w := drivenWindowSlice(t, lo, hi)
+		return w
+	}
+	a, b := mkShard(0, 400), mkShard(400, 800)
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inProc := mkShard(0, 400)
+	if err := inProc.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.MarshalBinary()
+	want, _ := inProc.MarshalBinary()
+	if !bytes.Equal(got, want) {
+		t.Fatal("wire merge differs from in-process merge")
+	}
+}
+
+// drivenWindowSlice drives a window through the full tick sequence but
+// only feeds the updates in [lo, hi) — one contiguous shard.
+func drivenWindowSlice(t *testing.T, lo, hi int) *Window[*sketch.CountSketch] {
+	t.Helper()
+	w, err := New(Config{W: 10, K: 2}, func() *sketch.CountSketch {
+		return sketch.NewCountSketch(3, 32, util.NewSplitMix64(1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := randomDrive(13, 800)
+	for i, u := range drive {
+		if i >= lo && i < hi {
+			if err := w.Update(u.item, 1, u.tick); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			w.Advance(u.tick)
+		}
+	}
+	return w
+}
+
+// TestWindowWireRejections: truncation, corrupt fingerprints, clock
+// drift, and trailing garbage must all error — and must leave the
+// receiver untouched (staged-before-mutate).
+func TestWindowWireRejections(t *testing.T) {
+	src := drivenWindow(t, 1, true)
+	valid, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *Window[*sketch.CountSketch] { return drivenWindow(t, 1, false) }
+	check := func(name string, data []byte, wantSub string) {
+		t.Helper()
+		dst := fresh()
+		before, _ := dst.MarshalBinary()
+		err := dst.UnmarshalBinary(data)
+		if err == nil {
+			t.Fatalf("%s: decode unexpectedly succeeded", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+		after, _ := dst.MarshalBinary()
+		if !bytes.Equal(before, after) {
+			t.Fatalf("%s: failed decode mutated the receiver", name)
+		}
+	}
+
+	for _, cut := range []int{0, 4, 13, 14, 22, 30, len(valid) / 2, len(valid) - 1} {
+		check("truncated", valid[:cut], "")
+	}
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xff
+	check("bad magic", badMagic, "magic")
+
+	badFP := append([]byte(nil), valid...)
+	badFP[7] ^= 0xff // inside the u64 fingerprint
+	check("bad fingerprint", badFP, "fingerprint")
+
+	check("trailing bytes", append(append([]byte(nil), valid...), 0xde, 0xad), "trailing")
+
+	// A receiver with a different seed has a different fingerprint.
+	other := drivenWindow(t, 2, false)
+	if err := other.UnmarshalBinary(valid); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("seed mismatch not caught by fingerprint: %v", err)
+	}
+
+	// A receiver at a different clock must refuse even a valid payload.
+	drifted := drivenWindow(t, 1, false)
+	drifted.Advance(drifted.Now() + 7)
+	if err := drifted.UnmarshalBinary(valid); err == nil ||
+		!strings.Contains(err.Error(), "clock") {
+		t.Fatalf("clock mismatch not caught: %v", err)
+	}
+
+	// A receiver with different histogram capacity differs in shape AND
+	// fingerprint.
+	diffK, err := New(Config{W: 10, K: 4}, func() *sketch.CountSketch {
+		return sketch.NewCountSketch(3, 32, util.NewSplitMix64(1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range randomDrive(13, 800) {
+		diffK.Advance(u.tick)
+	}
+	if err := diffK.UnmarshalBinary(valid); err == nil {
+		t.Fatal("K mismatch not detected")
+	}
+}

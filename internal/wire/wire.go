@@ -1,35 +1,3 @@
-// Package wire is the shared binary wire format used to ship sketch
-// state between processes (workers -> coordinator in the distributed
-// g-SUM deployment; see cmd/gsumd).
-//
-// Every serialized summary starts with the same 14-byte header:
-//
-//	magic u32 | version u16 | fingerprint u64
-//
-// followed by type-specific fields, all big endian. The magic names the
-// type, the version names the layout, and the fingerprint is a digest of
-// the receiver's hash-function coefficients and dimensions: two sketches
-// built from the same seed (and configuration) have equal fingerprints,
-// so a decode onto a sketch constructed with a different seed fails fast
-// instead of silently merging incompatible counter states. Hash
-// functions themselves never travel — they are reconstructed
-// deterministically from the seed, keeping payloads proportional to the
-// counter state only. This is the seed-discipline rule of
-// sketch.CountSketch.Merge, promoted to a checked wire invariant.
-//
-// Decoders must never panic on corrupt input: the Reader is
-// sticky-error, validates every length field against the bytes actually
-// remaining, and caps allocations accordingly.
-//
-// Merge-semantics decoders validate headers, fingerprints, and framing
-// BEFORE mutating the receiver, and leaf decoders stage the whole
-// payload first, so the common failure modes (wrong seed/configuration,
-// truncation in transit) never leave a half-merged sketch. The one
-// remaining window is byte corruption deep inside a nested blob of a
-// multi-level payload that still parses at the outer layers: a decode
-// error after some levels applied. Callers that cannot rule that out
-// must treat a failed UnmarshalBinary as poisoning the receiver and
-// rebuild it (cheap: reconstruct from the seed and replay snapshots).
 package wire
 
 import (

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/gfunc"
 	"repro/internal/stream"
 	"repro/internal/util"
+	"repro/internal/window"
 )
 
 // The bench runner behind `gsum bench`: drive one scenario through one
@@ -47,6 +49,15 @@ type BenchSpec struct {
 	// PushBatch is the updates-per-request size for the daemon backend
 	// (0 = engine.DefaultBatchSize).
 	PushBatch int
+	// Window, when positive, switches the run to sliding-window mode:
+	// the scenario stream is generated with a tick dimension (Ticked;
+	// Cfg.Ticks sets the stream's tick span) and the estimate covers
+	// only the last Window ticks, through internal/window on every
+	// backend. Exact ground truth is the g-SUM over the trailing
+	// window's frequency vector.
+	Window int
+	// WindowK is the exponential-histogram capacity (0 = window.DefaultK).
+	WindowK int
 }
 
 // BenchResult reports one bench run.
@@ -63,6 +74,13 @@ type BenchResult struct {
 	Estimate      float64
 	RelErr        float64
 	SpaceBytes    int
+	// Windowed-mode extras: the window length (0 for whole-stream runs),
+	// the final tick of the stream, and how many ticks beyond the window
+	// the estimate still included (bounded by the histogram's documented
+	// stale bound).
+	Window     int
+	LastTick   uint64
+	StaleTicks uint64
 }
 
 // RunBench generates the scenario stream, ingests it through the
@@ -75,6 +93,9 @@ type BenchResult struct {
 func RunBench(spec BenchSpec) (BenchResult, error) {
 	if spec.Generator == nil {
 		return BenchResult{}, fmt.Errorf("workload: bench needs a generator")
+	}
+	if spec.Window > 0 {
+		return runWindowedBench(spec)
 	}
 	cfg := spec.Cfg.withDefaults()
 	genStart := time.Now()
@@ -253,4 +274,218 @@ func (d *localDaemon) spaceBytes() (int, error) {
 		return 0, err
 	}
 	return cfg.SpaceBytes, nil
+}
+
+// --- windowed mode ---------------------------------------------------------
+
+// runWindowedBench is the sliding-window variant of RunBench: the
+// scenario stream gains a tick dimension (Ticked), every backend runs a
+// window.Estimator (serial, one per shard, or behind gsumd's window
+// backend with /v1/advance), and the estimate is scored against the
+// exact g-SUM over the trailing Window ticks. The determinism contract
+// carries over: bucket structure is a pure function of the tick
+// sequence, so serial, parallel, and daemon windowed estimates are
+// bit-identical (same tracker-capacity caveat as whole-stream runs).
+func runWindowedBench(spec BenchSpec) (BenchResult, error) {
+	cfg := spec.Cfg.withDefaults()
+	genStart := time.Now()
+	ts := Ticked(spec.Generator, cfg)
+	genElapsed := time.Since(genStart)
+	last := ts.LastTick()
+	w := uint64(spec.Window)
+
+	wv := ts.WindowVector(w)
+	exact := wv.Sum(spec.G.Eval)
+
+	opts := spec.Opts
+	opts.N = ts.Stream.N()
+	wcfg := window.Config{W: w, K: spec.WindowK}
+
+	var est float64
+	var space int
+	var stale uint64
+	var elapsed time.Duration
+	workers := 1
+	switch spec.Backend {
+	case "", "serial":
+		spec.Backend = "serial"
+		start := time.Now()
+		e, err := window.NewEstimator(spec.G, opts, wcfg)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if err := ingestTicked(e, ts, 0, ts.Stream.Len()); err != nil {
+			return BenchResult{}, err
+		}
+		e.Advance(last)
+		est, space, stale = e.Estimate(), e.SpaceBytes(), e.Stale()
+		elapsed = time.Since(start)
+	case "parallel":
+		workers = engine.Workers(spec.Workers)
+		start := time.Now()
+		n := ts.Stream.Len()
+		if workers > n && n > 0 {
+			workers = n
+		}
+		shards := make([]*window.Estimator, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				e, err := window.NewEstimator(spec.G, opts, wcfg)
+				if err == nil {
+					lo, hi := engine.Cut(n, workers, i)
+					err = ingestTicked(e, ts, lo, hi)
+				}
+				if err == nil {
+					e.Advance(last)
+				}
+				shards[i], errs[i] = e, err
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return BenchResult{}, err
+			}
+		}
+		for i := 1; i < workers; i++ {
+			if err := shards[0].Merge(shards[i]); err != nil {
+				return BenchResult{}, err
+			}
+		}
+		est, space, stale = shards[0].Estimate(), shards[0].SpaceBytes(), shards[0].Stale()
+		elapsed = time.Since(start)
+	case "daemon":
+		if workers = spec.Workers; workers < 1 {
+			workers = 1
+		}
+		var err error
+		est, space, stale, elapsed, err = runWindowedDaemonBench(ts, spec, opts, wcfg, workers)
+		if err != nil {
+			return BenchResult{}, err
+		}
+	default:
+		return BenchResult{}, fmt.Errorf("workload: unknown backend %q (serial, parallel, daemon)", spec.Backend)
+	}
+
+	return BenchResult{
+		Workload:      spec.Generator.Name(),
+		Backend:       spec.Backend,
+		Workers:       workers,
+		Updates:       ts.Stream.Len(),
+		Distinct:      wv.F0(),
+		GenElapsed:    genElapsed,
+		Elapsed:       elapsed,
+		UpdatesPerSec: float64(ts.Stream.Len()) / elapsed.Seconds(),
+		Exact:         exact,
+		Estimate:      est,
+		RelErr:        util.RelErr(est, exact),
+		SpaceBytes:    space,
+		Window:        spec.Window,
+		LastTick:      last,
+		StaleTicks:    stale,
+	}, nil
+}
+
+// ingestTicked feeds updates [lo, hi) of a ticked stream into the
+// estimator, batching every run of equal-tick updates through the
+// amortized batch path.
+func ingestTicked(e *window.Estimator, ts *TickedStream, lo, hi int) error {
+	updates := ts.Stream.Updates()
+	return ts.EachRun(lo, hi, func(lo, hi int, tick uint64) error {
+		return e.UpdateBatch(updates[lo:hi], tick)
+	})
+}
+
+// runWindowedDaemonBench drives the windowed distributed topology:
+// window-backend worker daemons absorb tick-stamped shards (advancing
+// their clocks via /v1/advance between tick runs), every clock is
+// synchronized to the final tick, and the coordinator pull-merges the
+// worker windows before answering /v1/estimate.
+func runWindowedDaemonBench(ts *TickedStream, spec BenchSpec, opts core.Options, wcfg window.Config, workers int) (float64, int, uint64, time.Duration, error) {
+	dcfg := daemon.Config{
+		Backend: "window",
+		G:       spec.G.Name(),
+		N:       opts.N,
+		M:       opts.M,
+		Eps:     opts.Eps,
+		Delta:   opts.Delta,
+		Lambda:  opts.Lambda,
+		Seed:    opts.Seed,
+		Window:  wcfg.W,
+		WindowK: wcfg.K,
+	}
+	coord, err := startDaemon(dcfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer coord.close()
+	ws := make([]*localDaemon, workers)
+	urls := make([]string, workers)
+	for i := range ws {
+		if ws[i], err = startDaemon(dcfg); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer ws[i].close()
+		urls[i] = ws[i].base
+	}
+
+	batch := spec.PushBatch
+	if batch <= 0 {
+		batch = engine.DefaultBatchSize
+	}
+	updates := ts.Stream.Updates()
+	last := ts.LastTick()
+	start := time.Now()
+	for i, wkr := range ws {
+		lo, hi := engine.Cut(len(updates), workers, i)
+		err := ts.EachRun(lo, hi, func(lo, hi int, tick uint64) error {
+			if _, err := wkr.client.Advance(tick); err != nil {
+				return err
+			}
+			for b := lo; b < hi; b += batch {
+				e := b + batch
+				if e > hi {
+					e = hi
+				}
+				if err := wkr.client.Push(updates[b:e]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			_, err = wkr.client.Advance(last)
+		}
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	if _, err := coord.client.Advance(last); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := coord.client.PullFrom(urls); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	resp, err := coord.client.Estimate(url.Values{})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	est, ok := resp["estimate"].(float64)
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("workload: daemon estimate response missing numeric estimate: %v", resp)
+	}
+	stale := uint64(0)
+	if s, ok := resp["stale_ticks"].(float64); ok {
+		stale = uint64(s)
+	}
+	space := 0
+	if sb, err := coord.spaceBytes(); err == nil {
+		space = sb
+	}
+	return est, space, stale, elapsed, nil
 }

@@ -1,0 +1,46 @@
+// Package workload is the scenario-generation subsystem: a catalog of
+// deterministic, seeded stream generators with very different
+// heavy-hitter structure, so that accuracy and throughput claims can be
+// exercised across the traffic shapes a production aggregation service
+// actually sees — not just the uniform synthetic stream the early
+// benchmarks used.
+//
+// Every generator implements Generator: a pure function from Config
+// (domain, working-set cardinality, stream length, seed) to a
+// stream.Stream. Determinism is total — the same Config yields a
+// byte-identical stream on every run, every platform, and independent of
+// how the stream is later sharded — so workload streams plug directly
+// into the exact-equality contracts of internal/engine (serial ==
+// parallel == daemon-merged; see internal/core/parallel.go).
+//
+// The catalog (see Generators):
+//
+//	zipf      Zipfian / power-law item popularity (α = 1.1): the
+//	          canonical heavy-tailed workload g-SUM algorithms target.
+//	uniform   every working-set item equally likely: no heavy hitters,
+//	          the degenerate case heavy-hitter layers must not distort.
+//	needle    needle-in-a-haystack: one dominant key carries half the
+//	          stream over a uniform haystack — max-skew heavy-hitter
+//	          recall, and the shape of a hot-key cache stampede.
+//	bursty    clustered arrival order: items arrive in runs (geometric
+//	          lengths), the fast path for run-length batch collapse and
+//	          the worst case for per-update candidate tracking.
+//	permuted  a Zipf stream replayed in a seeded random permutation:
+//	          identical frequency vector to zipf with all arrival
+//	          locality destroyed — linear sketches must produce the
+//	          same estimates; order-sensitive optimizations must not
+//	          change results.
+//
+// The package also hosts the bench runner (bench.go) behind the
+// `gsum bench` subcommand, which drives any generator through the
+// serial, sharded-parallel, or daemon (HTTP worker/coordinator)
+// ingestion paths and reports throughput and estimate-vs-exact error.
+//
+// Layer: harness layer in ARCHITECTURE.md, upstream of the serial,
+// parallel, and daemon ingestion paths (and, in windowed mode, of
+// internal/window behind all three).
+// Seed discipline: a scenario stream — and its tick stamps in the
+// ticked variants — is a pure function of Config, independent of how
+// it will be sharded, so workload streams are valid inputs to the
+// exact-equality contracts.
+package workload

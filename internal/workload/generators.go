@@ -196,22 +196,33 @@ func (b Bursty) alpha() float64 {
 
 // Generate implements Generator.
 func (b Bursty) Generate(cfg Config) *stream.Stream {
+	s, _ := b.generate(cfg)
+	return s
+}
+
+// generate builds the bursty stream and records where each geometric
+// run starts (the draw sequence is identical to the original Generate,
+// so existing seeds reproduce byte-identical streams). GenerateTicked
+// uses the run boundaries for its burst-aligned time axis.
+func (b Bursty) generate(cfg Config) (*stream.Stream, []int) {
 	cfg = cfg.withDefaults()
 	rng := util.NewSplitMix64(cfg.Seed)
 	items := workingSet(cfg, rng.Fork())
 	draw := rng.Fork()
 	s := stream.New(cfg.N)
+	var runStarts []int
 	cdf := zipfCDF(len(items), b.alpha())
 	// P(continue) keeps the geometric run mean at meanRun.
 	cont := 1 - 1/float64(b.meanRun())
 	for s.Len() < cfg.Length {
+		runStarts = append(runStarts, s.Len())
 		it := items[sampleCDF(cdf, draw)]
 		s.Add(it, 1)
 		for s.Len() < cfg.Length && draw.Float64() < cont {
 			s.Add(it, 1)
 		}
 	}
-	return s
+	return s, runStarts
 }
 
 // PermutedReplay generates an inner scenario's stream and replays it in

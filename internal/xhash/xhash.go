@@ -1,12 +1,3 @@
-// Package xhash implements k-wise independent hash families over the
-// Mersenne prime p = 2^61 - 1, the standard construction used by streaming
-// sketches such as CountSketch and the AMS F2 sketch.
-//
-// A degree-(k-1) polynomial with random coefficients in GF(p) evaluated at
-// the key yields a k-wise independent family. Pairwise independence (k = 2)
-// suffices for bucket hashes; four-wise independence (k = 4) is required for
-// the variance bound of the AMS tug-of-war sketch and for CountSketch sign
-// hashes.
 package xhash
 
 import (

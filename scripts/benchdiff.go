@@ -1,29 +1,39 @@
 // Command benchdiff is the CI performance regression gate: it parses
-// `go test -bench` output, extracts the ns/op of every BenchmarkProcess*
-// benchmark (taking the MINIMUM across repeated -count runs, the least
-// noisy statistic on shared CI runners), and compares against the
-// committed baseline.
+// `go test -bench` output, extracts the ns/op of every gated benchmark
+// — the BenchmarkProcess* ingestion family and the BenchmarkWindow*
+// sliding-window family, taking the MINIMUM across repeated -count
+// runs, the least noisy statistic on shared CI runners — and compares
+// against the committed baseline.
 //
 // # Usage
 //
-// Run the gated benchmark family and compare (what .github/workflows/ci.yml
-// does on every push):
+// Run the gated benchmark families and compare (what
+// .github/workflows/ci.yml does on every push; benchdiff lives in
+// scripts/, so `go run ./scripts` runs it from the repo root):
 //
-//	go test -run '^$' -bench '^BenchmarkProcess' -benchtime 3x -count 3 . | tee bench.txt
+//	go test -run '^$' -bench '^Benchmark(Process|Window)' -benchtime 3x -count 3 . | tee bench.txt
 //	go run ./scripts -baseline BENCH_baseline.json -current bench.txt
 //
-// Exit codes: 0 when every benchmark is within threshold, 1 on a
+// Exit codes: 0 when every gated benchmark is within threshold, 1 on a
 // regression (current ns/op > threshold × baseline, default 2x) or when
 // a baseline entry has no matching result in the run (a gated benchmark
 // was renamed or deleted without refreshing the baseline), 2 on usage or
 // parse errors.
 //
+// # Warn-and-skip for missing baseline entries
+//
 // A benchmark present in the run but MISSING from the baseline —
-// typically a freshly added benchmark — is warned about on stderr and
-// skipped rather than silently passed: the gate cannot vouch for a
-// number it has nothing to compare against, so the warning tells you to
-// add the entry. Sub-benchmarks gate individually under their full name
-// (e.g. BenchmarkProcessWorkload/zipf).
+// typically a freshly added benchmark — is warned about on stderr,
+// printed as a SKIP line on stdout, and NOT gated. It is never silently
+// passed: the gate cannot vouch for a number it has nothing to compare
+// against, so the warning tells you to add the entry; the run still
+// exits 0 so adding a benchmark does not break CI before its baseline
+// lands. Sub-benchmarks gate individually under their full name (e.g.
+// BenchmarkProcessWorkload/zipf).
+//
+// -prefix takes a comma-separated list of gated name prefixes (default
+// "BenchmarkProcess,BenchmarkWindow"); results matching none of them
+// are ignored entirely.
 //
 // Refresh the baseline after an intentional performance change (this
 // rewrites every gated entry with the current run's minima):
@@ -57,8 +67,19 @@ type Baseline struct {
 // "BenchmarkProcessSerial-8   	      16	  71491381 ns/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
-// parseBench extracts name -> min ns/op for benchmarks matching prefix.
-func parseBench(path, prefix string) (map[string]float64, error) {
+// hasAnyPrefix reports whether name starts with one of the prefixes.
+func hasAnyPrefix(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseBench extracts name -> min ns/op for benchmarks matching any of
+// the gated prefixes.
+func parseBench(path string, prefixes []string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -68,7 +89,7 @@ func parseBench(path, prefix string) (map[string]float64, error) {
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil || !strings.HasPrefix(m[1], prefix) {
+		if m == nil || !hasAnyPrefix(m[1], prefixes) {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[2], 64)
@@ -90,7 +111,8 @@ func run() int {
 	current := flag.String("current", "", "path to `go test -bench` output")
 	baselinePath := flag.String("baseline", "", "path to the committed baseline JSON")
 	write := flag.String("write", "", "write a fresh baseline JSON to this path and exit")
-	prefix := flag.String("prefix", "BenchmarkProcess", "benchmark name prefix to gate")
+	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow",
+		"comma-separated benchmark name prefixes to gate")
 	threshold := flag.Float64("threshold", 2.0, "fail when current > threshold * baseline")
 	flag.Parse()
 
@@ -98,7 +120,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
 		return 2
 	}
-	got, err := parseBench(*current, *prefix)
+	prefixes := strings.Split(*prefix, ",")
+	got, err := parseBench(*current, prefixes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2
@@ -171,7 +194,7 @@ func run() int {
 			status, name, cur, ref, ratio, *threshold)
 	}
 	for name := range base.Benchmarks {
-		if _, ok := got[name]; !ok && strings.HasPrefix(name, *prefix) {
+		if _, ok := got[name]; !ok && hasAnyPrefix(name, prefixes) {
 			fmt.Printf("GONE  %-34s present in baseline but not in this run\n", name)
 			failed = true
 		}

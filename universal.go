@@ -57,6 +57,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gfunc"
 	"repro/internal/stream"
+	"repro/internal/window"
 )
 
 // Func is a function g in the paper's class G (g(0)=0, g(1)=1, g(x)>0 for
@@ -187,4 +188,24 @@ type ParallelEstimator = core.ParallelEstimator
 // of the one-pass estimator. workers < 1 means GOMAXPROCS.
 func NewParallelEstimator(g Func, opts Options, workers int) *ParallelEstimator {
 	return core.NewParallel(g, opts, workers)
+}
+
+// Window is a sliding-window g-SUM estimator: an exponential histogram
+// of one-pass estimator buckets answering Σ g(|v_i|) over only the last
+// W ticks of the stream (internal/window). Feed it with Update(item,
+// delta, tick), move time with Advance(tick), and Estimate covers the
+// trailing window — expired traffic is guaranteed gone once it is
+// W+StaleBound() ticks behind the clock.
+type Window = window.Estimator
+
+// WindowConfig parameterizes a Window: W is the window length in ticks;
+// K trades buckets for expiry granularity (0 = default 2).
+type WindowConfig = window.Config
+
+// NewWindow builds a sliding-window one-pass estimator for g. Like all
+// estimators, two Windows built from the same (g, opts, cfg) — on any
+// machines — merge exactly, provided their clocks advanced through the
+// same tick sequence.
+func NewWindow(g Func, opts Options, cfg WindowConfig) (*Window, error) {
+	return window.NewEstimator(g, opts, cfg)
 }
