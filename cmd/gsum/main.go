@@ -6,6 +6,7 @@
 //	gsum estimate -workers 8      ... with sharded parallel ingestion
 //	gsum bench -workload zipf     benchmark a workload scenario end to end
 //	gsum bench -backend daemon    ... through an in-process gsumd topology
+//	gsum bench -backend list      print the registered backend kinds
 //	gsum bench -window 8          ... estimating only the last 8 ticks
 //	gsum experiments [-quick]     run the full E1-E15 experiment suite
 //	gsum experiments -run E4      run a single experiment
@@ -28,8 +29,8 @@ import (
 	"strings"
 	"time"
 
+	universal "repro"
 	"repro/internal/cliflag"
-	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -153,39 +154,45 @@ func runEstimate(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	s := stream.Zipf(stream.GenConfig{N: *n, M: *m, Seed: *seed}, *items, *alpha)
-	exact := core.NewExact(g)
-	exact.Process(s)
+
+	// Both the ground truth and the sketch resolve through the registry:
+	// the exact baseline is just another Spec kind.
+	exact, err := universal.Open(universal.Spec{Kind: universal.KindExact, G: *fname,
+		Options: universal.Options{N: *n, M: *m, Seed: *seed}})
+	if err != nil {
+		fmt.Fprintf(stderr, "gsum: %v\n", err)
+		return 1
+	}
+	if err := universal.Process(exact, s); err != nil {
+		fmt.Fprintf(stderr, "gsum: %v\n", err)
+		return 1
+	}
 	truth := exact.Estimate()
 
-	opts := core.Options{N: *n, M: *m, Eps: *eps, Seed: *seed * 7}
-	var est float64
-	var space int
+	var kind universal.Kind
 	switch *passes {
 	case 1:
-		e := core.NewOnePass(g, opts)
-		if *workers == 1 {
-			e.Process(s)
-		} else if err := e.ProcessParallel(s, *workers); err != nil {
-			fmt.Fprintf(stderr, "gsum: %v\n", err)
-			return 1
+		if kind = universal.KindOnePass; *workers != 1 {
+			kind = universal.KindParallel
 		}
-		est, space = e.Estimate(), e.SpaceBytes()
 	case 2:
-		e := core.NewTwoPass(g, opts)
-		if *workers == 1 {
-			est = e.Run(s)
-		} else {
-			var err error
-			if est, err = e.RunParallel(s, *workers); err != nil {
-				fmt.Fprintf(stderr, "gsum: %v\n", err)
-				return 1
-			}
-		}
-		space = e.SpaceBytes()
+		kind = universal.KindTwoPass
 	default:
 		fmt.Fprintln(stderr, "gsum: -passes must be 1 or 2")
 		return 2
 	}
+	e, err := universal.Open(universal.Spec{Kind: kind, G: *fname,
+		Options: universal.Options{N: *n, M: *m, Eps: *eps, Seed: *seed * 7},
+		Workers: *workers})
+	if err != nil {
+		fmt.Fprintf(stderr, "gsum: %v\n", err)
+		return 1
+	}
+	if err := universal.Process(e, s); err != nil {
+		fmt.Fprintf(stderr, "gsum: %v\n", err)
+		return 1
+	}
+	est, space := e.Estimate(), e.SpaceBytes()
 	fmt.Fprintf(stdout, "g = %s over zipf(n=%d, M=%d, items=%d, alpha=%.2f)\n",
 		g.Name(), *n, *m, *items, *alpha)
 	if *workers != 1 {
@@ -215,7 +222,8 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	eps := fs.Float64("eps", 0.25, "target accuracy")
 	seed := fs.Uint64("seed", 1, "random seed (stream and sketch)")
 	workers := fs.Int("workers", 1, "shards for parallel (0 = GOMAXPROCS) / worker daemons for daemon (min 1)")
-	backend := fs.String("backend", "serial", "ingestion backend: "+strings.Join(workload.Backends, ", "))
+	backend := fs.String("backend", "serial", "ingestion backend: "+strings.Join(workload.Backends, ", ")+
+		` ("list" prints the registered backend kinds and exits)`)
 	win := fs.Int("window", 0, "sliding-window mode: estimate only the last W ticks (0 = whole stream)")
 	ticks := fs.Int("ticks", workload.DefaultTicks, "tick span of the generated stream (windowed mode)")
 	windowk := fs.Int("windowk", 0, "histogram buckets per span class: higher = fewer stale ticks, more space (0 = default 2)")
@@ -225,6 +233,17 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	if *win < 0 || *ticks < 1 {
 		fmt.Fprintln(stderr, "gsum bench: -window must be >= 0 and -ticks >= 1")
 		return 2
+	}
+
+	if *backend == "list" {
+		// Straight from the registry, so this listing cannot drift from
+		// the code (satellite of the Spec/Open redesign).
+		fmt.Fprintln(stdout, "registered backend kinds:")
+		for _, k := range universal.Kinds() {
+			fmt.Fprintf(stdout, "  %-12s %s\n", k, universal.Describe(universal.Kind(k)))
+		}
+		fmt.Fprintf(stdout, "ingestion topologies for -backend: %s\n", strings.Join(workload.Backends, ", "))
+		return 0
 	}
 
 	validBackend := false
@@ -267,7 +286,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		Generator: gen,
 		Cfg:       workload.Config{N: *n, Items: *items, Length: *length, Seed: *seed, Ticks: *ticks},
 		G:         g,
-		Opts:      core.Options{M: 1 << 10, Eps: *eps, Seed: *seed * 7, Lambda: 1.0 / 16},
+		Opts:      universal.Options{M: 1 << 10, Eps: *eps, Seed: *seed * 7, Lambda: 1.0 / 16},
 		Backend:   *backend,
 		Workers:   *workers,
 		Window:    *win,

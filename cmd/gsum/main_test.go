@@ -8,9 +8,8 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/core"
+	universal "repro"
 	"repro/internal/daemon"
-	"repro/internal/gfunc"
 	"repro/internal/stream"
 )
 
@@ -204,10 +203,10 @@ func TestPushQueryAgainstDaemon(t *testing.T) {
 	// Full worker -> coordinator round trip through the real CLI code
 	// paths: two workers absorb disjoint shards, the coordinator pulls
 	// and answers, and the answer matches a single-process run exactly.
-	cfg := daemon.Config{Backend: "onepass", G: "x^2", N: 1 << 12, M: 1 << 10,
-		Eps: 0.25, Seed: 42, Lambda: 1.0 / 16}
+	spec := universal.Spec{Kind: universal.KindOnePass, G: "x^2",
+		Options: universal.Options{N: 1 << 12, M: 1 << 10, Eps: 0.25, Seed: 42, Lambda: 1.0 / 16}}
 	mk := func() *httptest.Server {
-		srv, err := daemon.NewServer(cfg)
+		srv, err := daemon.NewServer(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,9 +232,14 @@ func TestPushQueryAgainstDaemon(t *testing.T) {
 		t.Fatalf("query: exit %d, stderr %s", code, stderr)
 	}
 
-	serial := core.NewOnePass(gfunc.F2Func(), core.Options{
-		N: 1 << 12, M: 1 << 10, Eps: 0.25, Seed: 42, Lambda: 1.0 / 16})
-	serial.Process(stream.Zipf(stream.GenConfig{N: 1 << 12, M: 1 << 10, Seed: 7}, 90, 1.1))
+	serial, err := universal.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := universal.Process(serial,
+		stream.Zipf(stream.GenConfig{N: 1 << 12, M: 1 << 10, Seed: 7}, 90, 1.1)); err != nil {
+		t.Fatal(err)
+	}
 
 	// The query prints a merge banner followed by the JSON response.
 	brace := strings.Index(stdout, "{")
@@ -310,6 +314,27 @@ func TestBenchUnknownWorkloadListsCatalog(t *testing.T) {
 	for _, w := range []string{"zipf", "uniform", "needle", "bursty", "permuted"} {
 		if !strings.Contains(stderr, w) {
 			t.Errorf("stderr missing workload %q in catalog listing:\n%s", w, stderr)
+		}
+	}
+}
+
+// TestBenchBackendListPrintsRegistry: `gsum bench -backend list` prints
+// every registered backend kind from the registry and exits 0, so the
+// CLI surface cannot drift from the code.
+func TestBenchBackendListPrintsRegistry(t *testing.T) {
+	stdout, stderr, code := gsum(t, "bench", "-backend", "list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, kind := range universal.Kinds() {
+		if !strings.Contains(stdout, kind) {
+			t.Errorf("list output missing registered kind %q:\n%s", kind, stdout)
+		}
+	}
+	// The ingestion topologies stay documented alongside.
+	for _, topo := range []string{"serial", "parallel", "daemon"} {
+		if !strings.Contains(stdout, topo) {
+			t.Errorf("list output missing topology %q:\n%s", topo, stdout)
 		}
 	}
 }

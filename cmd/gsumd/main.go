@@ -1,7 +1,14 @@
-// Command gsumd is the distributed g-SUM aggregation daemon: one sketch
-// backend behind an HTTP surface (see internal/daemon for the API).
+// Command gsumd is the distributed g-SUM aggregation daemon: one
+// estimator kind from the backend registry behind an HTTP surface (see
+// internal/daemon for the API).
 //
 //	gsumd -backend onepass -f x^2 -n 4096 -m 1024 -seed 42 -addr :7600
+//	gsumd -backend list            # print the registered kinds and exit
+//
+// The flags assemble a backend Spec; the registry validates it and
+// builds the estimator, so gsumd itself contains no per-kind code and a
+// new registry entry is immediately servable. GET /v1/config serves the
+// normalized Spec and its fingerprint.
 //
 // Deployment topology: run one gsumd per traffic shard (workers) and one
 // for queries (coordinator), all with IDENTICAL flags except -addr. Push
@@ -10,13 +17,14 @@
 // body to the coordinator's /v1/merge). Because the sketches are linear
 // and seeded identically, the coordinator's estimate equals the
 // single-machine estimate over the whole stream — exactly, not
-// approximately. The wire format's fingerprint makes configuration drift
-// a 409 error instead of silent garbage.
+// approximately. Configuration drift is caught twice: the /v1/config
+// Spec-fingerprint handshake answers 409 before any snapshot ships, and
+// the wire format's fingerprint re-checks it at /v1/merge.
 //
-// The window backend adds a clock: run every daemon with the same
-// -window (and optional -windowk), POST the tick to /v1/advance on
-// each daemon as time passes, and /v1/estimate answers over the last
-// -window ticks only (see internal/window for the expiry guarantees):
+// The window kind adds a clock: run every daemon with the same -window
+// (and optional -windowk), POST the tick to /v1/advance on each daemon
+// as time passes, and /v1/estimate answers over the last -window ticks
+// only (see internal/window for the expiry guarantees):
 //
 //	gsumd -backend window -f x^2 -window 8 -seed 42 -addr :7600
 package main
@@ -28,9 +36,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/cliflag"
+	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/window"
 )
 
 func main() {
@@ -42,36 +54,54 @@ var serve = func(l net.Listener, h http.Handler) error {
 	return http.Serve(l, h)
 }
 
+// listKinds prints the registered backend kinds with their registry
+// descriptions — the `-backend list` surface, generated from the code
+// so it cannot drift.
+func listKinds(w io.Writer) {
+	fmt.Fprintln(w, "registered backend kinds:")
+	for _, k := range backend.Kinds() {
+		fmt.Fprintf(w, "  %-12s %s\n", k, backend.Describe(backend.Kind(k)))
+	}
+}
+
 // run parses flags, builds the daemon, and serves. It returns the
 // process exit code instead of calling os.Exit, so tests can drive it.
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gsumd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7600", "listen address")
-	backend := fs.String("backend", "onepass", "countsketch | heavy | onepass | universal | window")
-	fname := fs.String("f", "x^2", "catalog function (heavy/onepass; default query for universal)")
+	kind := fs.String("backend", "onepass",
+		"estimator kind: "+strings.Join(backend.Kinds(), " | ")+` ("list" prints them and exits)`)
+	fname := fs.String("f", "x^2", "catalog function (g-summing kinds; default query for universal)")
 	n := fs.Uint64("n", 1<<12, "domain size")
 	m := fs.Int64("m", 1<<10, "max |frequency|")
 	eps := fs.Float64("eps", 0.25, "target accuracy")
 	delta := fs.Float64("delta", 0.2, "failure probability")
 	lambda := fs.Float64("lambda", 0, "heaviness (0 = Theorem 13 default)")
 	seed := fs.Uint64("seed", 1, "root seed; must match across daemons that merge")
-	envelope := fs.Float64("envelope", 0, "envelope H(M) for the universal backend (0 = measure from -f)")
+	envelope := fs.Float64("envelope", 0, "envelope H(M) for the universal kind (0 = measure from -f)")
 	rows := fs.Int("rows", 0, "countsketch rows (0 = default 5)")
 	buckets := fs.Uint64("buckets", 0, "countsketch buckets (0 = default 1024)")
 	topk := fs.Int("topk", 0, "countsketch tracked candidates (0 = no tracker)")
-	win := fs.Uint64("window", 0, "window backend: estimate the last W ticks of the /v1/advance clock")
-	wink := fs.Int("windowk", 0, "window backend: histogram buckets per span class (0 = default 2)")
+	win := fs.Uint64("window", 0, "window kind: estimate the last W ticks of the /v1/advance clock")
+	wink := fs.Int("windowk", 0, "window kind: histogram buckets per span class (0 = default 2)")
 	if code, ok := cliflag.Parse(fs, argv, stderr); !ok {
 		return code
 	}
 
-	srv, err := daemon.NewServer(daemon.Config{
-		Backend: *backend, G: *fname, N: *n, M: *m,
-		Eps: *eps, Delta: *delta, Lambda: *lambda, Seed: *seed,
-		Envelope: *envelope, Rows: *rows, Buckets: *buckets, TopK: *topk,
-		Window: *win, WindowK: *wink,
-	})
+	if *kind == "list" {
+		listKinds(stdout)
+		return 0
+	}
+
+	spec := backend.Spec{
+		Kind: backend.Kind(*kind), G: *fname,
+		Options: core.Options{N: *n, M: *m, Eps: *eps, Delta: *delta,
+			Lambda: *lambda, Seed: *seed, Envelope: *envelope},
+		Window: window.Config{W: *win, K: *wink},
+		Rows:   *rows, Buckets: *buckets, TopK: *topk,
+	}
+	srv, err := daemon.NewServer(spec)
 	if err != nil {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)
 		return 1
@@ -81,8 +111,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "gsumd: backend=%s g=%s seed=%d listening on %s\n",
-		*backend, *fname, *seed, l.Addr())
+	fmt.Fprintf(stdout, "gsumd: backend=%s g=%s seed=%d fingerprint=%#x listening on %s\n",
+		*kind, *fname, *seed, srv.Spec().Fingerprint(), l.Addr())
 	if err := serve(l, srv.Handler()); err != nil {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)
 		return 1

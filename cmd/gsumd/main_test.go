@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"repro/internal/backend"
 )
 
 // stubServe replaces the blocking serve loop and captures the handler.
@@ -42,8 +44,23 @@ func TestRunRejectsUnknownBackend(t *testing.T) {
 	if code := run([]string{"-backend", "nope"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
-	if !strings.Contains(errb.String(), "unknown backend") {
-		t.Errorf("stderr %q does not name the bad backend", errb.String())
+	if !strings.Contains(errb.String(), "unknown kind") {
+		t.Errorf("stderr %q does not name the bad backend kind", errb.String())
+	}
+}
+
+// TestBackendListPrintsRegistry: `-backend list` prints every
+// registered kind straight from the registry and exits 0, so the CLI
+// surface cannot drift from the code.
+func TestBackendListPrintsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-backend", "list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	for _, kind := range backend.Kinds() {
+		if !strings.Contains(out.String(), kind) {
+			t.Errorf("list output missing registered kind %q:\n%s", kind, out.String())
+		}
 	}
 }
 

@@ -12,6 +12,48 @@ import (
 	universal "repro"
 )
 
+// ExampleOpen is the unified front door: a Spec describes any estimator
+// in the repository, Open builds it, and equal Specs fingerprint (and
+// sketch) identically — the contract distributed deployments verify
+// before merging snapshots.
+func ExampleOpen() {
+	spec := universal.Spec{
+		Kind:    universal.KindOnePass,
+		G:       "x^2",
+		Options: universal.Options{N: 1 << 10, M: 16, Seed: 1},
+	}
+	est, err := universal.Open(spec)
+	if err != nil {
+		panic(err)
+	}
+	s := universal.NewStream(1 << 10)
+	for i := uint64(0); i < 64; i++ {
+		s.Add(i, int64(i%8)+1) // frequencies 1..8
+	}
+	if err := universal.Process(est, s); err != nil {
+		panic(err)
+	}
+
+	exact, err := universal.Open(universal.Spec{Kind: universal.KindExact, G: "x^2",
+		Options: universal.Options{N: 1 << 10, Seed: 1}})
+	if err != nil {
+		panic(err)
+	}
+	if err := universal.Process(exact, s); err != nil {
+		panic(err)
+	}
+	drifted := spec
+	drifted.Options.Seed = 2
+	fmt.Printf("exact %.0f, estimate within 25%%: %v\n",
+		exact.Estimate(), within(est.Estimate(), exact.Estimate(), 0.25))
+	fmt.Printf("same spec merges: %v; drifted seed merges: %v\n",
+		spec.Fingerprint() == spec.Fingerprint(),
+		spec.Fingerprint() == drifted.Fingerprint())
+	// Output:
+	// exact 1632, estimate within 25%: true
+	// same spec merges: true; drifted seed merges: false
+}
+
 // ExampleNewOnePassEstimator estimates F2 = Σ v_i² in one pass over a
 // small turnstile stream and compares against the exact sum.
 func ExampleNewOnePassEstimator() {

@@ -1,15 +1,19 @@
 // Distributed: the paper's sketches are linear, so g-SUM estimation
 // distributes for free — shard the stream across workers, sketch each
-// shard with the same seed, merge. This example shows both faces of
+// shard from the same Spec, merge. This example shows three faces of
 // that fact:
 //
-//   - the sharded parallel ingestion engine (universal.NewParallelEstimator),
-//     which partitions the stream across GOMAXPROCS-style worker shards
-//     and merges them back, producing the SAME estimate as a serial run;
+//   - the parallel kind (Kind: "parallel"), whose Process partitions the
+//     stream across worker shards and merges them back, producing the
+//     SAME estimate as a serial run;
 //
-//   - manual multi-machine style sharding with explicit Merge calls,
-//     including turnstile cancellation: deletions on one shard cancel
-//     insertions on another, exactly as in one stream.
+//   - manual multi-machine style sharding: every "machine" opens the
+//     same Spec, sketches its own shard, and a coordinator folds the
+//     shards with universal.Merge — including turnstile cancellation,
+//     where deletions on one shard cancel insertions on another;
+//
+//   - the Spec fingerprint, the value distributed deployments exchange
+//     to prove their configurations match before shipping snapshots.
 //
 //     go run ./examples/distributed
 package main
@@ -40,8 +44,11 @@ func run(w io.Writer) error {
 		workers = 4
 		seed    = 123
 	)
-	g := universal.F2()
-	opts := universal.Options{N: n, M: m, Eps: 0.25, Seed: seed, Lambda: 1.0 / 16}
+	spec := universal.Spec{
+		Kind:    universal.KindOnePass,
+		G:       universal.F2().Name(),
+		Options: universal.Options{N: n, M: m, Eps: 0.25, Seed: seed, Lambda: 1.0 / 16},
+	}
 
 	// 90 distinct items keeps the candidate trackers inside the regime
 	// where parallel and serial estimates agree bit-for-bit.
@@ -50,22 +57,39 @@ func run(w io.Writer) error {
 		full.Len(), full.Vector().F0())
 
 	// Single-machine serial reference.
-	single := universal.NewOnePassEstimator(g, opts)
-	single.Process(full)
-
-	// The sharded parallel engine: same Options (same Seed => same hash
-	// functions), contiguous chunks, linearity-based merge.
-	par := universal.NewParallelEstimator(g, opts, workers)
-	if err := par.Process(full); err != nil {
+	single, err := universal.Open(spec)
+	if err != nil {
+		return err
+	}
+	if err := universal.Process(single, full); err != nil {
 		return err
 	}
 
-	exact := universal.NewExactEstimator(g)
-	exact.Process(full)
+	// The parallel kind: same Spec plus Workers. Same Seed => same hash
+	// functions; contiguous chunks; linearity-based merge.
+	pspec := spec
+	pspec.Kind = universal.KindParallel
+	pspec.Workers = workers
+	par, err := universal.Open(pspec)
+	if err != nil {
+		return err
+	}
+	if err := universal.Process(par, full); err != nil {
+		return err
+	}
+
+	exact, err := universal.Open(universal.Spec{Kind: universal.KindExact, G: spec.G,
+		Options: universal.Options{N: n, M: m, Seed: seed}})
+	if err != nil {
+		return err
+	}
+	if err := universal.Process(exact, full); err != nil {
+		return err
+	}
 
 	fmt.Fprintf(w, "exact          : %.6g\n", exact.Estimate())
 	fmt.Fprintf(w, "serial 1-pass  : %.6g\n", single.Estimate())
-	fmt.Fprintf(w, "parallel x%d    : %.6g\n", par.Workers(), par.Estimate())
+	fmt.Fprintf(w, "parallel x%d    : %.6g\n", workers, par.Estimate())
 	if par.Estimate() == single.Estimate() {
 		fmt.Fprintln(w, "parallel == serial: exact agreement (linearity + same seed)")
 	} else {
@@ -73,11 +97,14 @@ func run(w io.Writer) error {
 			par.Estimate(), single.Estimate())
 	}
 
-	// Manual sharding, multi-machine style: each "machine" sketches its
-	// own shard; a coordinator merges everything into shard 0.
-	sharded := make([]*universal.OnePassEstimator, shards)
+	// Manual sharding, multi-machine style: each "machine" opens the SAME
+	// Spec (that is the whole seed-discipline rule), sketches its own
+	// shard, and a coordinator merges everything into shard 0.
+	sharded := make([]universal.Estimator, shards)
 	for i := range sharded {
-		sharded[i] = universal.NewOnePassEstimator(g, opts)
+		if sharded[i], err = universal.Open(spec); err != nil {
+			return err
+		}
 	}
 	i := 0
 	full.Each(func(u stream.Update) {
@@ -85,21 +112,41 @@ func run(w io.Writer) error {
 		i++
 	})
 	for _, worker := range sharded[1:] {
-		if err := sharded[0].Merge(worker); err != nil {
+		if err := universal.Merge(sharded[0], worker); err != nil {
 			return err
 		}
 	}
 	fmt.Fprintf(w, "merged shards  : %.6g (round-robin split, coordinator merge)\n",
 		sharded[0].Estimate())
 
+	// The fingerprint two daemons would exchange before merging: a Spec
+	// built independently from the same fields (as a second machine
+	// would build it) agrees, and changing any field (here the seed)
+	// breaks it.
+	twin := universal.Spec{
+		Kind:    universal.KindOnePass,
+		G:       universal.F2().Name(),
+		Options: universal.Options{N: n, M: m, Eps: 0.25, Seed: seed, Lambda: 1.0 / 16},
+	}
+	drifted := spec
+	drifted.Options.Seed = seed + 1
 	fmt.Fprintln(w)
+	fmt.Fprintf(w, "spec fingerprints: independently built spec match = %v, drifted seed match = %v\n",
+		spec.Fingerprint() == twin.Fingerprint(), spec.Fingerprint() == drifted.Fingerprint())
+
 	fmt.Fprintln(w, "turnstile cancellation across shards:")
-	x := universal.NewOnePassEstimator(g, opts)
-	y := universal.NewOnePassEstimator(g, opts)
+	x, err := universal.Open(spec)
+	if err != nil {
+		return err
+	}
+	y, err := universal.Open(spec)
+	if err != nil {
+		return err
+	}
 	x.Update(42, 500)  // worker X sees the insert
 	y.Update(42, -500) // worker Y sees the delete
 	y.Update(7, 3)
-	if err := x.Merge(y); err != nil {
+	if err := universal.Merge(x, y); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "  merged estimate: %.4g (want 9: the ±500 cancels)\n", x.Estimate())

@@ -1,5 +1,6 @@
-// Quickstart: build a turnstile stream, estimate a g-SUM in one pass, and
-// compare against the exact linear-space baseline.
+// Quickstart: describe an estimator with a Spec, build it with Open,
+// stream a turnstile stream through it, and compare against the exact
+// linear-space baseline — the whole public API in one sitting.
 //
 //	go run ./examples/quickstart
 package main
@@ -37,16 +38,31 @@ func run(w io.Writer) error {
 		s.Len(), s.N(), s.Vector().MaxAbs())
 
 	// g(x) = x² lg(1+x): slow-jumping, slow-dropping, predictable — so by
-	// Theorem 2 it is 1-pass tractable.
+	// Theorem 2 it is 1-pass tractable. A Spec names it by its catalog
+	// name; the same Spec opened anywhere builds the same sketch.
 	g := universal.X2Log()
+	spec := universal.Spec{
+		Kind:    universal.KindOnePass,
+		G:       g.Name(),
+		Options: universal.Options{N: n, M: m, Eps: 0.25, Seed: seed},
+	}
 
-	exact := universal.NewExactEstimator(g)
-	exact.Process(s)
+	exact, err := universal.Open(universal.Spec{Kind: universal.KindExact, G: g.Name(),
+		Options: universal.Options{N: n, M: m, Seed: seed}})
+	if err != nil {
+		return err
+	}
+	if err := universal.Process(exact, s); err != nil {
+		return err
+	}
 
-	est := universal.NewOnePassEstimator(g, universal.Options{
-		N: n, M: m, Eps: 0.25, Seed: seed,
-	})
-	est.Process(s)
+	est, err := universal.Open(spec)
+	if err != nil {
+		return err
+	}
+	if err := universal.Process(est, s); err != nil {
+		return err
+	}
 
 	truth := exact.Estimate()
 	got := est.Estimate()
@@ -58,11 +74,19 @@ func run(w io.Writer) error {
 	fmt.Fprintf(w, "  relative error: %.4f (target ε = 0.25)\n", util.RelErr(got, truth))
 
 	// The same in two passes (Algorithm 1): exact frequencies for the
-	// heavy hitters, no predictability requirement.
-	two := universal.NewTwoPassEstimator(g, universal.Options{
-		N: n, M: m, Eps: 0.25, Seed: seed + 1,
-	})
-	got2 := two.Run(s)
+	// heavy hitters, no predictability requirement. Only the Kind
+	// changes; Process knows the two-pass kind replays the stream.
+	twoSpec := spec
+	twoSpec.Kind = universal.KindTwoPass
+	twoSpec.Options.Seed = seed + 1
+	two, err := universal.Open(twoSpec)
+	if err != nil {
+		return err
+	}
+	if err := universal.Process(two, s); err != nil {
+		return err
+	}
+	got2 := two.Estimate()
 	fmt.Fprintf(w, "  2-pass g-SUM: %.6g   relative error %.4f\n", got2, util.RelErr(got2, truth))
 	return nil
 }

@@ -1,0 +1,20 @@
+// Package backend is the registry behind the public Spec/Estimator/Open
+// API: one typed, serializable description of every estimator the
+// repository can build (Spec), one streaming contract they all satisfy
+// (Estimator), and one constructor (Open) that dispatches through a
+// table of registered kinds. Every frontend — the root package, the
+// gsumd daemon, `gsum estimate`/`gsum bench`, and the workload bench
+// runner — resolves estimators here, so a new sketch kind is one
+// registry entry instead of one edit per frontend.
+//
+// Layer: above core/window/heavy/sketch (it constructs them), below the
+// daemon, cmds, and workload frontends (they dispatch through it).
+//
+// Seed discipline: Open is a pure function of the normalized Spec. Two
+// processes that Open equal Specs hold estimators with identical hash
+// functions, dimensions, and wire fingerprints, so their snapshots
+// merge exactly. Spec.Fingerprint digests the normalized Spec with the
+// internal/wire fold; the daemon's /v1/config handshake compares these
+// fingerprints so configuration drift is a 409 at handshake time, not a
+// failed merge after snapshots have shipped.
+package backend

@@ -12,31 +12,44 @@ import (
 )
 
 // Options configures the estimators. The zero value is not usable; fill in
-// at least N and M. Accuracy defaults: Eps 0.25, Delta 0.2.
+// at least N and M. Accuracy defaults: Eps 0.25, Delta 0.2. The JSON tags
+// define the canonical encoding used inside backend Specs.
 type Options struct {
 	// N is the stream's domain size.
-	N uint64
+	N uint64 `json:"n"`
 	// M bounds |v_i| (the turnstile promise). It determines the envelope
 	// H(M) used to size the sketches.
-	M int64
+	M int64 `json:"m"`
 	// Eps is the target relative accuracy ε (default 0.25).
-	Eps float64
+	Eps float64 `json:"eps"`
 	// Delta is the per-estimator failure probability δ (default 0.2).
-	Delta float64
+	Delta float64 `json:"delta"`
 	// Lambda is the heaviness parameter λ; 0 means the Theorem 13 setting
-	// ε² / log³n (floored at 1/64 to keep test-scale widths finite).
-	Lambda float64
+	// ε² / log³n (floored at DefaultLambdaFloor = 1/32 to keep test-scale
+	// widths finite).
+	Lambda float64 `json:"lambda"`
 	// Levels overrides the recursive sketch depth (0 = log2 N).
-	Levels int
+	Levels int `json:"levels"`
 	// WidthFactor scales sketch widths for space/accuracy sweeps (0 = 1).
-	WidthFactor float64
+	WidthFactor float64 `json:"width_factor"`
 	// Seed makes every random choice reproducible.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Envelope overrides the measured H(M) (0 = measure from g).
-	Envelope float64
+	Envelope float64 `json:"envelope"`
 }
 
-func (o Options) withDefaults() Options {
+// DefaultLambdaFloor is the smallest λ WithDefaults will derive from the
+// Theorem 13 formula. The asymptotic setting ε²/log³n would drive sketch
+// widths far past what the accuracy needs at laptop scales, so the
+// default is floored here. Experiments that sweep λ set it explicitly.
+const DefaultLambdaFloor = 1.0 / 32
+
+// WithDefaults resolves the zero-value accuracy fields to the documented
+// defaults: Eps 0.25, Delta 0.2, Lambda per Theorem 13 floored at
+// DefaultLambdaFloor, WidthFactor 1. Estimator constructors apply it;
+// the backend registry applies it when normalizing a Spec, so both
+// resolve a partially-filled Options to the same configuration.
+func (o Options) WithDefaults() Options {
 	if o.Eps == 0 {
 		o.Eps = 0.25
 	}
@@ -46,11 +59,8 @@ func (o Options) withDefaults() Options {
 	if o.Lambda == 0 {
 		logn := math.Log2(float64(o.N) + 2)
 		o.Lambda = o.Eps * o.Eps / (logn * logn * logn)
-		// Theorem 13's λ is asymptotic; at laptop scales it would drive
-		// widths far past what the accuracy needs, so floor it. Experiments
-		// that sweep λ set it explicitly.
-		if o.Lambda < 1.0/32 {
-			o.Lambda = 1.0 / 32
+		if o.Lambda < DefaultLambdaFloor {
+			o.Lambda = DefaultLambdaFloor
 		}
 	}
 	if o.WidthFactor == 0 {
@@ -58,6 +68,8 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+func (o Options) withDefaults() Options { return o.WithDefaults() }
 
 // EnvelopeFor resolves the envelope H(M) for g under the options — the
 // exact defaulting the estimator constructors apply (Envelope override,
@@ -141,9 +153,10 @@ func (e *OnePassEstimator) SpaceBytes() int { return e.sk.SpaceBytes() }
 
 // TwoPassEstimator approximates g-SUM with two passes over the stream.
 type TwoPassEstimator struct {
-	g    gfunc.Func
-	sk   *recursive.TwoPass
-	opts Options // resolved options, kept so RunParallel can clone shards
+	g     gfunc.Func
+	sk    *recursive.TwoPass
+	opts  Options // resolved options, kept so RunParallel can clone shards
+	pass2 bool    // set by FinishPass1: Update/UpdateBatch feed pass 2
 }
 
 // NewTwoPass builds the Theorem 3 estimator for g.
@@ -173,7 +186,7 @@ func NewTwoPass(g gfunc.Func, opts Options) *TwoPassEstimator {
 // ingestion path) and returns the estimate.
 func (e *TwoPassEstimator) Run(s *stream.Stream) float64 {
 	forBatches(s.Updates(), e.sk.Pass1Batch)
-	e.sk.FinishPass1()
+	e.FinishPass1()
 	forBatches(s.Updates(), e.sk.Pass2Batch)
 	return e.sk.Estimate()
 }
@@ -182,8 +195,32 @@ func (e *TwoPassEstimator) Run(s *stream.Stream) float64 {
 // passes themselves).
 func (e *TwoPassEstimator) Pass1(item uint64, delta int64) { e.sk.Pass1(item, delta) }
 
+// Update feeds one turnstile update to the current pass: the
+// identification pass before FinishPass1, the tabulation pass after.
+// This is the unified-Estimator face of the two-pass protocol; callers
+// replay the stream, call FinishPass1, and replay it again.
+func (e *TwoPassEstimator) Update(item uint64, delta int64) {
+	if e.pass2 {
+		e.sk.Pass2(item, delta)
+	} else {
+		e.sk.Pass1(item, delta)
+	}
+}
+
+// UpdateBatch feeds a batch of turnstile updates to the current pass.
+func (e *TwoPassEstimator) UpdateBatch(batch []stream.Update) {
+	if e.pass2 {
+		e.sk.Pass2Batch(batch)
+	} else {
+		e.sk.Pass1Batch(batch)
+	}
+}
+
 // FinishPass1 switches to the tabulation pass.
-func (e *TwoPassEstimator) FinishPass1() { e.sk.FinishPass1() }
+func (e *TwoPassEstimator) FinishPass1() {
+	e.sk.FinishPass1()
+	e.pass2 = true
+}
 
 // Pass2 feeds the tabulation pass.
 func (e *TwoPassEstimator) Pass2(item uint64, delta int64) { e.sk.Pass2(item, delta) }

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDefaultLambdaFloor pins the documented λ default: at bench scales
+// the Theorem 13 formula ε²/log³n falls below the floor, so WithDefaults
+// must resolve λ to exactly DefaultLambdaFloor = 1/32. This is the
+// regression test for the doc/code drift where the field comment claimed
+// a 1/64 floor while the code floored at 1/32.
+func TestDefaultLambdaFloor(t *testing.T) {
+	if DefaultLambdaFloor != 1.0/32 {
+		t.Fatalf("DefaultLambdaFloor = %v, want 1/32", DefaultLambdaFloor)
+	}
+	o := Options{N: 1 << 16, M: 1 << 10}.WithDefaults()
+	logn := math.Log2(float64(1<<16) + 2)
+	if formula := o.Eps * o.Eps / (logn * logn * logn); formula >= DefaultLambdaFloor {
+		t.Fatalf("test premise broken: Theorem 13 λ %v is above the floor", formula)
+	}
+	if o.Lambda != DefaultLambdaFloor {
+		t.Errorf("default λ = %v, want the floor %v", o.Lambda, DefaultLambdaFloor)
+	}
+
+	// An explicit λ must pass through untouched, floor or no floor.
+	if o := (Options{N: 1 << 16, Lambda: 1.0 / 128}).WithDefaults(); o.Lambda != 1.0/128 {
+		t.Errorf("explicit λ 1/128 resolved to %v", o.Lambda)
+	}
+
+	// A huge domain can push the formula above the floor; then the
+	// formula value wins.
+	o = Options{N: 1 << 2, Eps: 0.9}.WithDefaults()
+	logn = math.Log2(float64(uint64(1)<<2) + 2)
+	want := 0.9 * 0.9 / (logn * logn * logn)
+	if want <= DefaultLambdaFloor {
+		t.Fatalf("test premise broken: formula %v not above floor", want)
+	}
+	if o.Lambda != want {
+		t.Errorf("formula λ = %v, want %v", o.Lambda, want)
+	}
+}

@@ -108,7 +108,7 @@ func (e *TwoPassEstimator) RunParallel(s *stream.Stream, workers int) (float64, 
 			return 0, err
 		}
 	}
-	e.sk.FinishPass1()
+	e.FinishPass1()
 	for i := 1; i < w; i++ {
 		if err := ests[i].sk.AdoptCandidates(e.sk); err != nil {
 			return 0, err

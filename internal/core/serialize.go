@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gfunc"
 	"repro/internal/wire"
@@ -23,7 +24,14 @@ const (
 	universalMagic  uint32 = 0x67535555 // "gSUU"
 	offsetMagic     uint32 = 0x6753554f // "gSUO"
 	medianMagic     uint32 = 0x6753554d // "gSUM"
+	exactMagic      uint32 = 0x67535558 // "gSUX"
 )
+
+// OptionsFingerprint digests every Options field into a 64-bit value
+// with the wire package's fold. It is the options half of the estimator
+// wire fingerprints below, and the backend registry folds it into the
+// Spec fingerprint two daemons exchange before shipping snapshots.
+func OptionsFingerprint(o Options) uint64 { return optionsFingerprint(o) }
 
 // optionsFingerprint digests the resolved Options fields that govern
 // sketch shape and hash functions.
@@ -212,6 +220,59 @@ func (e *OffsetEstimator) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	return e.l0.UnmarshalBinary(l0)
+}
+
+// Fingerprint digests the exact baseline's configuration: only the
+// function identity matters (the frequency map is shape-free).
+func (e *ExactEstimator) Fingerprint() uint64 {
+	return wire.FingerprintString(0, e.g.Name())
+}
+
+// MarshalBinary serializes the exact baseline: the sparse frequency
+// vector in ascending item order (a canonical encoding, so identical
+// states marshal to identical bytes).
+func (e *ExactEstimator) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.Header(exactMagic, e.Fingerprint())
+	items := make([]uint64, 0, len(e.freq))
+	for it := range e.freq {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	w.U32(uint32(len(items)))
+	for _, it := range items {
+		w.U64(it)
+		w.I64(e.freq[it])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary adds a serialized shard's frequencies into e (merge
+// semantics, like every estimator in this file): frequencies add, and
+// entries that cancel to zero are dropped. The whole payload is decoded
+// before the receiver is mutated.
+func (e *ExactEstimator) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if err := r.Header(exactMagic, e.Fingerprint()); err != nil {
+		return fmt.Errorf("core: ExactEstimator: %w", err)
+	}
+	n := int(r.U32())
+	if uint64(n)*16 > uint64(r.Len()) {
+		return fmt.Errorf("core: ExactEstimator: truncated payload: %d entries, %d bytes remain", n, r.Len())
+	}
+	items := make([]uint64, 0, n)
+	freqs := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, r.U64())
+		freqs = append(freqs, r.I64())
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: ExactEstimator: %w", err)
+	}
+	for i, it := range items {
+		e.Update(it, freqs[i])
+	}
+	return nil
 }
 
 // Fingerprint digests the copy count and each copy's configuration.

@@ -121,10 +121,42 @@ func (c *Client) Merge(snapshot []byte) error {
 	return nil
 }
 
+// CheckSpec posts a Spec fingerprint to the daemon's /v1/config
+// handshake. A nil error means the daemon was built from a Spec with
+// the same fingerprint; a mismatch surfaces the daemon's 409 Conflict.
+func (c *Client) CheckSpec(fingerprint uint64) error {
+	body, err := json.Marshal(CheckRequest{Fingerprint: fingerprint})
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/config", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
 // PullFrom fetches a snapshot from every worker daemon and merges it
 // into the daemon this client points at — the coordinator side of the
-// scatter-gather aggregation.
+// scatter-gather aggregation. Before any snapshot moves, every worker's
+// Spec fingerprint is checked against the coordinator's via the
+// /v1/config handshake: one drifted worker fails the whole pull with a
+// 409 and zero merges, so the coordinator is never left holding a
+// partial aggregation.
 func (c *Client) PullFrom(workers []string) error {
+	info, err := c.Config()
+	if err != nil {
+		return fmt.Errorf("coordinator config: %w", err)
+	}
+	for _, w := range workers {
+		if err := NewClient(w, c.hc).CheckSpec(info.Fingerprint); err != nil {
+			return fmt.Errorf("worker %s: %w", w, err)
+		}
+	}
 	for _, w := range workers {
 		snap, err := NewClient(w, c.hc).Snapshot()
 		if err != nil {
@@ -159,19 +191,20 @@ func (c *Client) Estimate(params url.Values) (map[string]interface{}, error) {
 	return out, nil
 }
 
-// Config fetches the daemon's configuration.
-func (c *Client) Config() (Config, error) {
+// Config fetches the daemon's normalized Spec, its fingerprint, and the
+// ingestion/space counters.
+func (c *Client) Config() (ConfigInfo, error) {
 	resp, err := c.hc.Get(c.base + "/v1/config")
 	if err != nil {
-		return Config{}, err
+		return ConfigInfo{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return Config{}, decodeError(resp)
+		return ConfigInfo{}, decodeError(resp)
 	}
 	defer resp.Body.Close()
-	var cfg Config
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&cfg); err != nil {
-		return Config{}, err
+	var info ConfigInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {
+		return ConfigInfo{}, err
 	}
-	return cfg, nil
+	return info, nil
 }

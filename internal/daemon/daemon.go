@@ -6,169 +6,82 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 	"sync"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/gfunc"
-	"repro/internal/heavy"
-	"repro/internal/sketch"
+	"repro/internal/backend"
 	"repro/internal/stream"
-	"repro/internal/util"
-	"repro/internal/window"
 )
 
 // maxBodyBytes caps request bodies (ingest batches and shard snapshots).
 const maxBodyBytes = 64 << 20
 
-// Config selects and parameterizes a backend. The same Config (and Seed)
-// must be given to every daemon that participates in one aggregation.
-type Config struct {
-	// Backend is one of "countsketch", "heavy", "onepass", "universal",
-	// "window".
-	Backend string `json:"backend"`
-	// G names the catalog function (heavy, onepass, and window backends;
-	// ignored by countsketch; the default query function for universal).
-	G string `json:"g,omitempty"`
-	// N, M, Eps, Delta, Lambda, Seed parameterize the sketches exactly as
-	// core.Options (estimator backends) or the raw dimensions below
-	// (countsketch).
-	N      uint64  `json:"n"`
-	M      int64   `json:"m"`
-	Eps    float64 `json:"eps,omitempty"`
-	Delta  float64 `json:"delta,omitempty"`
-	Lambda float64 `json:"lambda,omitempty"`
-	Seed   uint64  `json:"seed"`
-	// Envelope sizes the universal backend (max H(M) over the query
-	// family); 0 measures it from G when set, else falls back to 1.
-	Envelope float64 `json:"envelope,omitempty"`
-	// Rows/Buckets/TopK size the countsketch backend directly.
-	Rows    int    `json:"rows,omitempty"`
-	Buckets uint64 `json:"buckets,omitempty"`
-	TopK    int    `json:"topk,omitempty"`
-	// Window (ticks) and WindowK (exponential-histogram capacity) size
-	// the window backend: estimates cover the last Window ticks of the
-	// /v1/advance clock. Every daemon in one windowed aggregation must
-	// advance through the same tick sequence.
-	Window  uint64 `json:"window,omitempty"`
-	WindowK int    `json:"window_k,omitempty"`
-}
-
-// backend is one mergeable sketch behind the HTTP surface.
-type backend interface {
-	ingest(batch []stream.Update)
-	snapshot() ([]byte, error)
-	merge(data []byte) error
-	estimate(q url.Values) (interface{}, error)
-	spaceBytes() int
-	// advance moves the backend's tick clock and returns the resulting
-	// clock value (window backend only; the whole-stream backends have no
-	// clock and return an error).
-	advance(tick uint64) (uint64, error)
-}
-
-// Server wraps a backend with the gsumd HTTP surface. Sketches are not
-// goroutine-safe, so a mutex serializes state access; HTTP handlers are
-// otherwise stateless.
+// Server is one backend.Estimator behind the gsumd HTTP surface. The
+// backend is resolved once through the registry (backend.Open); every
+// endpoint then works against the unified Estimator contract plus its
+// optional capabilities, so adding a sketch kind to the registry adds
+// it to the daemon with no code here. Sketches are not goroutine-safe,
+// so a mutex serializes state access; HTTP handlers are otherwise
+// stateless.
 type Server struct {
 	mu      sync.Mutex
-	cfg     Config
-	be      backend
+	spec    backend.Spec // normalized
+	fp      uint64       // spec.Fingerprint(), served and checked by /v1/config
+	est     backend.Estimator
 	ingests uint64 // total updates absorbed, for /v1/config introspection
 }
 
-// catalogFunc resolves a catalog function by name.
-func catalogFunc(name string) (gfunc.Func, error) {
-	for _, e := range gfunc.Catalog() {
-		if e.Func.Name() == name {
-			return e.Func, nil
-		}
+// NewServer validates the spec through the registry and builds the
+// estimator. The same Spec (seed included) must be given to every
+// daemon that participates in one aggregation; /v1/config enforces it.
+func NewServer(spec backend.Spec) (*Server, error) {
+	n, err := spec.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
 	}
-	return nil, fmt.Errorf("daemon: unknown catalog function %q", name)
+	est, err := backend.Open(n)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	if _, ok := est.(backend.TwoPass); ok {
+		// The HTTP surface has no finish-pass verb: ingest would only
+		// ever feed pass 1 and /v1/estimate would serve an untabulated
+		// value. Refuse at construction instead of answering garbage.
+		return nil, fmt.Errorf("daemon: kind %q needs a stream replay between passes, which the HTTP surface cannot drive; use a single-pass kind", n.Kind)
+	}
+	return &Server{spec: n, fp: n.Fingerprint(), est: est}, nil
 }
 
-// options maps Config onto core.Options.
-func (c Config) options() core.Options {
-	return core.Options{
-		N: c.N, M: c.M, Eps: c.Eps, Delta: c.Delta,
-		Lambda: c.Lambda, Seed: c.Seed, Envelope: c.Envelope,
-	}
-}
-
-// NewServer validates cfg and builds the backend.
-func NewServer(cfg Config) (*Server, error) {
-	if cfg.N == 0 {
-		return nil, fmt.Errorf("daemon: config needs a positive domain N")
-	}
-	var be backend
-	switch cfg.Backend {
-	case "countsketch":
-		rows, buckets, topk := cfg.Rows, cfg.Buckets, cfg.TopK
-		if rows == 0 {
-			rows = 5
-		}
-		if buckets == 0 {
-			buckets = 1 << 10
-		}
-		rng := util.NewSplitMix64(cfg.Seed)
-		var cs *sketch.CountSketch
-		if topk > 0 {
-			cs = sketch.NewCountSketchTopK(rows, buckets, topk, rng)
-		} else {
-			cs = sketch.NewCountSketch(rows, buckets, rng)
-		}
-		be = &countSketchBackend{cs: cs}
-	case "heavy":
-		g, err := catalogFunc(cfg.G)
-		if err != nil {
-			return nil, err
-		}
-		be = newHeavyBackend(g, cfg)
-	case "onepass":
-		g, err := catalogFunc(cfg.G)
-		if err != nil {
-			return nil, err
-		}
-		be = &onePassBackend{est: core.NewOnePass(g, cfg.options())}
-	case "window":
-		g, err := catalogFunc(cfg.G)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.Window == 0 {
-			return nil, fmt.Errorf("daemon: window backend needs a positive window length (ticks)")
-		}
-		est, err := window.NewEstimator(g, cfg.options(),
-			window.Config{W: cfg.Window, K: cfg.WindowK})
-		if err != nil {
-			return nil, err
-		}
-		be = &windowBackend{est: est}
-	case "universal":
-		opts := cfg.options()
-		if opts.Envelope == 0 && cfg.G != "" {
-			g, err := catalogFunc(cfg.G)
-			if err != nil {
-				return nil, err
-			}
-			m := uint64(cfg.M)
-			if m < 4 {
-				m = 4
-			}
-			opts.Envelope = gfunc.MeasureEnvelope(g, m).H()
-		}
-		be = &universalBackend{u: core.NewUniversal(opts)}
-	default:
-		return nil, fmt.Errorf("daemon: unknown backend %q (countsketch, heavy, onepass, universal, window)", cfg.Backend)
-	}
-	return &Server{cfg: cfg, be: be}, nil
-}
+// Spec returns the daemon's normalized Spec.
+func (s *Server) Spec() backend.Spec { return s.spec }
 
 // IngestRequest is the /v1/ingest body: updates as [item, delta] pairs.
 type IngestRequest struct {
 	Updates [][2]int64 `json:"updates"`
+}
+
+// ConfigInfo is the /v1/config response: the full normalized Spec, its
+// fingerprint, and ingestion/space counters.
+type ConfigInfo struct {
+	Spec        backend.Spec `json:"spec"`
+	Fingerprint uint64       `json:"fingerprint"`
+	Ingested    uint64       `json:"ingested"`
+	SpaceBytes  int          `json:"space_bytes"`
+}
+
+// CheckRequest is the POST /v1/config body: the sender's Spec
+// fingerprint. The daemon answers 200 on a match and 409 Conflict
+// otherwise — the pre-merge handshake that catches configuration drift
+// before any snapshot ships.
+type CheckRequest struct {
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
+// AdvanceRequest is the /v1/advance body: the tick to move the window
+// clock to. Past ticks are a no-op (the clock never moves backward), so
+// several pushers may synchronize by all posting the same tick.
+type AdvanceRequest struct {
+	Tick uint64 `json:"tick"`
 }
 
 // Handler returns the daemon's HTTP surface.
@@ -186,13 +99,6 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// AdvanceRequest is the /v1/advance body: the tick to move the window
-// clock to. Past ticks are a no-op (the clock never moves backward), so
-// several pushers may synchronize by all posting the same tick.
-type AdvanceRequest struct {
-	Tick uint64 `json:"tick"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -203,19 +109,35 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// handleConfig serves the Spec (GET) and verifies a peer's Spec
+// fingerprint (POST): 200 on match, 409 Conflict on drift. Clients call
+// the POST on every worker before pulling snapshots, so a mismatched
+// deployment fails at handshake time with the two fingerprints in the
+// error, not at merge time with a cryptic wire error.
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
-		return
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		resp := ConfigInfo{Spec: s.spec, Fingerprint: s.fp,
+			Ingested: s.ingests, SpaceBytes: s.est.SpaceBytes()}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		var req CheckRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad config check body: %w", err))
+			return
+		}
+		if req.Fingerprint != s.fp {
+			writeError(w, http.StatusConflict, fmt.Errorf(
+				"spec fingerprint mismatch: peer %#x vs local %#x (different Spec; refusing before any snapshot is merged)",
+				req.Fingerprint, s.fp))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "match"})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST only"))
 	}
-	s.mu.Lock()
-	resp := struct {
-		Config
-		Ingested   uint64 `json:"ingested"`
-		SpaceBytes int    `json:"space_bytes"`
-	}{s.cfg, s.ingests, s.be.spaceBytes()}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -228,17 +150,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad ingest body: %w", err))
 		return
 	}
+	n := s.spec.Options.N
 	batch := make([]stream.Update, len(req.Updates))
 	for i, p := range req.Updates {
-		if p[0] < 0 || uint64(p[0]) >= s.cfg.N {
+		if p[0] < 0 || uint64(p[0]) >= n {
 			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("update %d: item %d outside domain [0,%d)", i, p[0], s.cfg.N))
+				fmt.Errorf("update %d: item %d outside domain [0,%d)", i, p[0], n))
 			return
 		}
 		batch[i] = stream.Update{Item: uint64(p[0]), Delta: p[1]}
 	}
 	s.mu.Lock()
-	s.be.ingest(batch)
+	s.est.UpdateBatch(batch)
 	s.ingests += uint64(len(batch))
 	total := s.ingests
 	s.mu.Unlock()
@@ -251,7 +174,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	data, err := s.be.snapshot()
+	data, err := s.est.MarshalBinary()
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -280,7 +203,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	err = s.be.merge(data)
+	err = s.est.UnmarshalBinary(data)
 	s.mu.Unlock()
 	if err != nil {
 		// A fingerprint/dimension mismatch is the client's fault: it shipped
@@ -301,23 +224,34 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad advance body: %w", err))
 		return
 	}
-	s.mu.Lock()
-	now, err := s.be.advance(req.Tick)
-	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	win, ok := s.est.(backend.Windowed)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"daemon: kind %q summarizes the whole stream and has no tick clock; use the window kind", s.spec.Kind))
 		return
 	}
+	s.mu.Lock()
+	// Arbitrarily large jumps are safe: window.Advance fast-forwards
+	// across spans that expire everything instead of replaying each
+	// elapsed tick, so a client posting wall-clock epoch ticks cannot
+	// stall the daemon under its state lock.
+	now := win.Advance(req.Tick)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]uint64{"tick": now})
 }
 
+// handleEstimate answers /v1/estimate by capability, not by kind:
+// ?item= point-queries a PointQuerier, ?g= post-hoc-queries a
+// FuncQuerier, a CoverReporter returns its cover, a Windowed estimator
+// reports its clock alongside the estimate, and everything else answers
+// {"estimate": ...}.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
 	s.mu.Lock()
-	resp, err := s.be.estimate(r.URL.Query())
+	resp, err := s.estimate(r.URL.Query())
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -326,165 +260,53 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// --- backends ---
-
-// countSketchBackend serves a raw CountSketch: point queries and F2.
-type countSketchBackend struct {
-	cs *sketch.CountSketch
-}
-
-func (b *countSketchBackend) ingest(batch []stream.Update) { engine.Ingest(b.cs, batch, 0) }
-func (b *countSketchBackend) snapshot() ([]byte, error)    { return b.cs.MarshalBinary() }
-func (b *countSketchBackend) merge(data []byte) error      { return b.cs.UnmarshalBinary(data) }
-func (b *countSketchBackend) spaceBytes() int              { return b.cs.SpaceBytes() }
-func (b *countSketchBackend) advance(uint64) (uint64, error) {
-	return 0, errNoClock("countsketch")
-}
-
-// errNoClock is the /v1/advance answer of every whole-stream backend.
-func errNoClock(backend string) error {
-	return fmt.Errorf("daemon: backend %q summarizes the whole stream and has no tick clock; use the window backend", backend)
-}
-
-func (b *countSketchBackend) estimate(q url.Values) (interface{}, error) {
+func (s *Server) estimate(q url.Values) (interface{}, error) {
 	if it := q.Get("item"); it != "" {
+		pq, ok := s.est.(backend.PointQuerier)
+		if !ok {
+			return nil, fmt.Errorf("kind %q does not answer per-item point queries", s.spec.Kind)
+		}
 		item, err := strconv.ParseUint(it, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad item %q: %w", it, err)
 		}
-		return map[string]interface{}{"item": item, "estimate": b.cs.Estimate(item)}, nil
+		return map[string]interface{}{"item": item, "estimate": pq.EstimateItem(item)}, nil
 	}
-	return map[string]interface{}{"f2": b.cs.EstimateF2()}, nil
-}
-
-// heavyBackend serves one Algorithm 2 instance: the cover of (g, λ)-heavy
-// hitters. Cover() finalizes the pruning against the current state but
-// does not consume it, so estimates may be queried repeatedly as traffic
-// continues.
-type heavyBackend struct {
-	op *heavy.OnePass
-}
-
-func newHeavyBackend(g gfunc.Func, cfg Config) *heavyBackend {
-	m := uint64(cfg.M)
-	if m < 4 {
-		m = 4
-	}
-	h := gfunc.MeasureEnvelope(g, m).H()
-	lambda := cfg.Lambda
-	if lambda == 0 {
-		lambda = 1.0 / 16
-	}
-	eps := cfg.Eps
-	if eps == 0 {
-		eps = 0.25
-	}
-	delta := cfg.Delta
-	if delta == 0 {
-		delta = 0.2
-	}
-	return &heavyBackend{op: heavy.NewOnePass(heavy.OnePassConfig{
-		G: g, Lambda: lambda, Eps: eps, Delta: delta, H: h,
-	}, util.NewSplitMix64(cfg.Seed))}
-}
-
-func (b *heavyBackend) ingest(batch []stream.Update) { b.op.UpdateBatch(batch) }
-func (b *heavyBackend) snapshot() ([]byte, error)    { return b.op.MarshalBinary() }
-func (b *heavyBackend) merge(data []byte) error      { return b.op.UnmarshalBinary(data) }
-func (b *heavyBackend) spaceBytes() int              { return b.op.SpaceBytes() }
-func (b *heavyBackend) advance(uint64) (uint64, error) {
-	return 0, errNoClock("heavy")
-}
-
-func (b *heavyBackend) estimate(url.Values) (interface{}, error) {
-	cover := b.op.Cover()
-	entries := make([]map[string]interface{}, len(cover))
-	for i, e := range cover {
-		entries[i] = map[string]interface{}{"item": e.Item, "freq": e.Freq, "weight": e.Weight}
-	}
-	return map[string]interface{}{"cover": entries, "weight_sum": cover.WeightSum()}, nil
-}
-
-// onePassBackend serves the full Theorem 2 estimator for a fixed g.
-type onePassBackend struct {
-	est *core.OnePassEstimator
-}
-
-func (b *onePassBackend) ingest(batch []stream.Update) { b.est.UpdateBatch(batch) }
-func (b *onePassBackend) snapshot() ([]byte, error)    { return b.est.MarshalBinary() }
-func (b *onePassBackend) merge(data []byte) error      { return b.est.UnmarshalBinary(data) }
-func (b *onePassBackend) spaceBytes() int              { return b.est.SpaceBytes() }
-func (b *onePassBackend) advance(uint64) (uint64, error) {
-	return 0, errNoClock("onepass")
-}
-
-func (b *onePassBackend) estimate(url.Values) (interface{}, error) {
-	return map[string]interface{}{"estimate": b.est.Estimate()}, nil
-}
-
-// universalBackend serves the §1.1.1 function-independent sketch:
-// /v1/estimate?g=<name> answers post-hoc g-SUM queries for any catalog
-// function (sized for the configured envelope).
-type universalBackend struct {
-	u *core.Universal
-}
-
-func (b *universalBackend) ingest(batch []stream.Update) { b.u.UpdateBatch(batch) }
-func (b *universalBackend) snapshot() ([]byte, error)    { return b.u.MarshalBinary() }
-func (b *universalBackend) merge(data []byte) error      { return b.u.UnmarshalBinary(data) }
-func (b *universalBackend) spaceBytes() int              { return b.u.SpaceBytes() }
-func (b *universalBackend) advance(uint64) (uint64, error) {
-	return 0, errNoClock("universal")
-}
-
-// windowBackend serves the sliding-window g-SUM estimator: /v1/ingest
-// applies updates at the current tick, /v1/advance moves the clock, and
-// /v1/estimate answers over the trailing window. Merging requires the
-// sender to have been advanced through the same tick sequence (the
-// boundary check in internal/window's wire format enforces it).
-type windowBackend struct {
-	est *window.Estimator
-}
-
-func (b *windowBackend) ingest(batch []stream.Update) {
-	// Ingest at the backend's own clock; a past-tick error is impossible.
-	_ = b.est.UpdateBatch(batch, b.est.Now())
-}
-func (b *windowBackend) snapshot() ([]byte, error) { return b.est.MarshalBinary() }
-func (b *windowBackend) merge(data []byte) error   { return b.est.UnmarshalBinary(data) }
-func (b *windowBackend) spaceBytes() int           { return b.est.SpaceBytes() }
-
-func (b *windowBackend) advance(tick uint64) (uint64, error) {
-	// Arbitrarily large jumps are safe: window.Advance fast-forwards
-	// across spans that expire everything instead of replaying each
-	// elapsed tick, so a client posting wall-clock epoch ticks cannot
-	// stall the daemon under its state lock.
-	b.est.Advance(tick)
-	return b.est.Now(), nil
-}
-
-func (b *windowBackend) estimate(url.Values) (interface{}, error) {
-	return map[string]interface{}{
-		"estimate":    b.est.Estimate(),
-		"tick":        b.est.Now(),
-		"window":      b.est.Config().W,
-		"stale_ticks": b.est.Stale(),
-	}, nil
-}
-
-func (b *universalBackend) estimate(q url.Values) (interface{}, error) {
-	name := q.Get("g")
-	if name == "" {
-		names := make([]string, 0)
-		for _, e := range gfunc.Catalog() {
-			names = append(names, e.Func.Name())
+	if name := q.Get("g"); name != "" {
+		fq, ok := s.est.(backend.FuncQuerier)
+		if !ok {
+			return nil, fmt.Errorf("kind %q was built for a fixed function and does not answer post-hoc ?g= queries", s.spec.Kind)
 		}
-		sort.Strings(names)
-		return nil, fmt.Errorf("universal backend needs ?g=<name>; catalog: %v", names)
+		g, err := backend.CatalogFunc(name)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]interface{}{"g": name, "estimate": fq.EstimateFor(g)}, nil
 	}
-	g, err := catalogFunc(name)
-	if err != nil {
-		return nil, err
+	switch e := s.est.(type) {
+	case backend.CoverReporter:
+		cover := e.Cover()
+		entries := make([]map[string]interface{}, len(cover))
+		for i, c := range cover {
+			entries[i] = map[string]interface{}{"item": c.Item, "freq": c.Freq, "weight": c.Weight}
+		}
+		return map[string]interface{}{"cover": entries, "weight_sum": cover.WeightSum()}, nil
+	case backend.FuncQuerier:
+		if s.spec.G == "" {
+			_, err := backend.CatalogFunc("")
+			return nil, fmt.Errorf("kind %q needs ?g=<name> (or a Spec.G default): %w", s.spec.Kind, err)
+		}
+		return map[string]interface{}{"g": s.spec.G, "estimate": s.est.Estimate()}, nil
+	case backend.PointQuerier:
+		return map[string]interface{}{"f2": e.EstimateF2()}, nil
+	case backend.Windowed:
+		return map[string]interface{}{
+			"estimate":    s.est.Estimate(),
+			"tick":        e.Now(),
+			"window":      e.Config().W,
+			"stale_ticks": e.Stale(),
+		}, nil
+	default:
+		return map[string]interface{}{"estimate": s.est.Estimate()}, nil
 	}
-	return map[string]interface{}{"g": name, "estimate": b.u.EstimateFor(g)}, nil
 }

@@ -4,13 +4,12 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strconv"
+	"strings"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
-	"repro/internal/gfunc"
-	"repro/internal/sketch"
 	"repro/internal/stream"
-	"repro/internal/util"
 	"repro/internal/window"
 )
 
@@ -21,13 +20,17 @@ func testStream(seed uint64) *stream.Stream {
 	return stream.Zipf(stream.GenConfig{N: 1 << 12, M: 1 << 10, Seed: seed}, 90, 1.1)
 }
 
+func testOptions(seed uint64) core.Options {
+	return core.Options{N: 1 << 12, M: 1 << 10, Eps: 0.25, Seed: seed, Lambda: 1.0 / 16}
+}
+
 // cluster spins up two worker daemons and one coordinator daemon with
-// identical configuration, pushes disjoint halves of the stream to the
-// workers over HTTP, and merges both snapshots into the coordinator.
-func cluster(t *testing.T, cfg Config, s *stream.Stream) *Client {
+// identical Specs, pushes disjoint halves of the stream to the workers
+// over HTTP, and merges both snapshots into the coordinator.
+func cluster(t *testing.T, spec backend.Spec, s *stream.Stream) *Client {
 	t.Helper()
 	mk := func() *httptest.Server {
-		srv, err := NewServer(cfg)
+		srv, err := NewServer(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,44 +55,50 @@ func cluster(t *testing.T, cfg Config, s *stream.Stream) *Client {
 	return cc
 }
 
+// serialEstimator opens the same Spec in-process and feeds it the whole
+// stream — the single-machine reference every cluster test compares to.
+func serialEstimator(t *testing.T, spec backend.Spec, s *stream.Stream) backend.Estimator {
+	t.Helper()
+	est, err := backend.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.UpdateBatch(s.Updates())
+	return est
+}
+
 func TestE2ECountSketchBackend(t *testing.T) {
 	s := testStream(3)
-	cfg := Config{Backend: "countsketch", N: 1 << 12, M: 1 << 10, Seed: 17, Rows: 5, Buckets: 1 << 10}
-	cc := cluster(t, cfg, s)
+	spec := backend.Spec{Kind: backend.KindCountSketch,
+		Options: core.Options{N: 1 << 12, M: 1 << 10, Seed: 17}, Rows: 5, Buckets: 1 << 10}
+	cc := cluster(t, spec, s)
 
-	// Serial single-process reference with the same seed.
-	cs := sketch.NewCountSketch(5, 1<<10, util.NewSplitMix64(17))
-	s.Each(func(u stream.Update) { cs.Update(u.Item, u.Delta) })
+	serial := serialEstimator(t, spec, s).(backend.PointQuerier)
 
 	for item := range s.Vector() {
 		got, err := cc.Estimate(url.Values{"item": {strconv.FormatUint(item, 10)}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if est := int64(got["estimate"].(float64)); est != cs.Estimate(item) {
-			t.Errorf("item %d: daemon estimate %d != serial %d", item, est, cs.Estimate(item))
+		if est := int64(got["estimate"].(float64)); est != serial.EstimateItem(item) {
+			t.Errorf("item %d: daemon estimate %d != serial %d", item, est, serial.EstimateItem(item))
 		}
 	}
 	got, err := cc.Estimate(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f2 := got["f2"].(float64); f2 != cs.EstimateF2() {
-		t.Errorf("daemon F2 %.17g != serial %.17g", f2, cs.EstimateF2())
+	if f2 := got["f2"].(float64); f2 != serial.EstimateF2() {
+		t.Errorf("daemon F2 %.17g != serial %.17g", f2, serial.EstimateF2())
 	}
 }
 
 func TestE2EHeavyBackend(t *testing.T) {
 	s := testStream(5)
-	cfg := Config{Backend: "heavy", G: "x^2", N: 1 << 12, M: 1 << 10, Seed: 23, Lambda: 1.0 / 16}
-	cc := cluster(t, cfg, s)
+	spec := backend.Spec{Kind: backend.KindHeavy, G: "x^2", Options: testOptions(23)}
+	cc := cluster(t, spec, s)
 
-	srv, err := NewServer(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	serial := srv.be.(*heavyBackend).op
-	s.Each(func(u stream.Update) { serial.Update(u.Item, u.Delta) })
+	serial := serialEstimator(t, spec, s).(backend.CoverReporter)
 	want := serial.Cover()
 
 	got, err := cc.Estimate(nil)
@@ -113,13 +122,10 @@ func TestE2EHeavyBackend(t *testing.T) {
 
 func TestE2ERecursiveOnePassBackend(t *testing.T) {
 	s := testStream(7)
-	cfg := Config{Backend: "onepass", G: "x^2", N: 1 << 12, M: 1 << 10,
-		Eps: 0.25, Seed: 42, Lambda: 1.0 / 16}
-	cc := cluster(t, cfg, s)
+	spec := backend.Spec{Kind: backend.KindOnePass, G: "x^2", Options: testOptions(42)}
+	cc := cluster(t, spec, s)
 
-	serial := core.NewOnePass(gfunc.F2Func(), core.Options{
-		N: 1 << 12, M: 1 << 10, Eps: 0.25, Seed: 42, Lambda: 1.0 / 16})
-	serial.Process(s)
+	serial := serialEstimator(t, spec, s)
 
 	got, err := cc.Estimate(nil)
 	if err != nil {
@@ -132,51 +138,144 @@ func TestE2ERecursiveOnePassBackend(t *testing.T) {
 
 func TestE2EUniversalBackendPostHocQueries(t *testing.T) {
 	s := testStream(9)
-	cfg := Config{Backend: "universal", N: 1 << 12, M: 1 << 10,
-		Eps: 0.25, Seed: 31, Lambda: 1.0 / 16, Envelope: 4}
-	cc := cluster(t, cfg, s)
+	opts := testOptions(31)
+	opts.Envelope = 4
+	spec := backend.Spec{Kind: backend.KindUniversal, Options: opts}
+	cc := cluster(t, spec, s)
 
-	serial := core.NewUniversal(core.Options{
-		N: 1 << 12, M: 1 << 10, Eps: 0.25, Seed: 31, Lambda: 1.0 / 16, Envelope: 4})
-	serial.Process(s)
+	serial := serialEstimator(t, spec, s).(backend.FuncQuerier)
 
-	for _, g := range []gfunc.Func{gfunc.F2Func(), gfunc.F1Func(), gfunc.L0()} {
-		got, err := cc.Estimate(url.Values{"g": {g.Name()}})
+	for _, name := range []string{"x^2", "x^1", "1(x>0)"} {
+		g, err := backend.CatalogFunc(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cc.Estimate(url.Values{"g": {name}})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if est := got["estimate"].(float64); est != serial.EstimateFor(g) {
-			t.Errorf("%s: daemon estimate %.17g != serial %.17g", g.Name(), est, serial.EstimateFor(g))
+			t.Errorf("%s: daemon estimate %.17g != serial %.17g", name, est, serial.EstimateFor(g))
 		}
 	}
 }
 
-func TestMergeRejectsMismatchedConfiguration(t *testing.T) {
-	cfgA := Config{Backend: "countsketch", N: 1 << 10, Seed: 1, Rows: 5, Buckets: 256}
-	cfgB := Config{Backend: "countsketch", N: 1 << 10, Seed: 2, Rows: 5, Buckets: 256}
-	sa, err := NewServer(cfgA)
+// TestConfigServesSpecAndFingerprint: GET /v1/config returns the
+// normalized Spec and the fingerprint the handshake checks.
+func TestConfigServesSpecAndFingerprint(t *testing.T) {
+	spec := backend.Spec{Kind: backend.KindOnePass, G: "x^2", Options: testOptions(42)}
+	srv, err := NewServer(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, err := NewServer(cfgB)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tsa, tsb := httptest.NewServer(sa.Handler()), httptest.NewServer(sb.Handler())
-	defer tsa.Close()
-	defer tsb.Close()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
 
-	snap, err := NewClient(tsa.URL, nil).Snapshot()
+	info, err := NewClient(ts.URL, nil).Config()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := NewClient(tsb.URL, nil).Merge(snap); err == nil {
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fingerprint != norm.Fingerprint() {
+		t.Errorf("served fingerprint %#x != local %#x", info.Fingerprint, norm.Fingerprint())
+	}
+	if info.Spec.Kind != norm.Kind || info.Spec.Options != norm.Options {
+		t.Errorf("served spec %+v != normalized %+v", info.Spec, norm)
+	}
+	// The served Spec is self-describing: re-fingerprinting it locally
+	// reproduces the served fingerprint.
+	if info.Spec.Fingerprint() != info.Fingerprint {
+		t.Error("served spec does not fingerprint to the served fingerprint")
+	}
+}
+
+// TestPullFromRejectsSpecMismatchBeforeMerge is the e2e drift guard: a
+// worker built from a Spec differing in one field (the seed) is refused
+// at the /v1/config handshake with a 409 — before any snapshot is
+// pulled or merged — and the coordinator keeps answering from its own
+// untouched state.
+func TestPullFromRejectsSpecMismatchBeforeMerge(t *testing.T) {
+	s := testStream(3)
+	good := backend.Spec{Kind: backend.KindOnePass, G: "x^2", Options: testOptions(42)}
+	drifted := good
+	drifted.Options.Seed = 43
+
+	mk := func(spec backend.Spec) *Client {
+		srv, err := NewServer(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return NewClient(ts.URL, nil)
+	}
+	coord, okWorker, badWorker := mk(good), mk(good), mk(drifted)
+	if err := okWorker.Push(s.Updates()); err != nil {
+		t.Fatal(err)
+	}
+	if err := badWorker.Push(s.Updates()); err != nil {
+		t.Fatal(err)
+	}
+
+	err := coord.PullFrom([]string{okWorker.base, badWorker.base})
+	if err == nil {
+		t.Fatal("PullFrom accepted a worker with a drifted Spec")
+	}
+	if !strings.Contains(err.Error(), "409") || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Errorf("error %v does not surface the 409 fingerprint handshake", err)
+	}
+
+	// The handshake runs before any snapshot moves: even the matching
+	// worker's data must NOT have been merged.
+	info, err := coord.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Ingested != 0 || got["estimate"].(float64) != 0 {
+		t.Errorf("coordinator state changed despite failed handshake: ingested=%d estimate=%v",
+			info.Ingested, got["estimate"])
+	}
+
+	// Direct handshake checks: matching fingerprint 200, drifted 409.
+	if err := okWorker.CheckSpec(good.Fingerprint()); err != nil {
+		t.Errorf("matching fingerprint rejected: %v", err)
+	}
+	if err := badWorker.CheckSpec(good.Fingerprint()); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("drifted daemon did not answer 409: %v", err)
+	}
+}
+
+func TestMergeRejectsMismatchedConfiguration(t *testing.T) {
+	mk := func(seed uint64) *Client {
+		srv, err := NewServer(backend.Spec{Kind: backend.KindCountSketch,
+			Options: core.Options{N: 1 << 10, Seed: seed}, Rows: 5, Buckets: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return NewClient(ts.URL, nil)
+	}
+	a, b := mk(1), mk(2)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Merge(snap); err == nil {
 		t.Error("expected merge of a different-seed snapshot to be rejected")
 	}
 }
 
 func TestIngestRejectsOutOfDomainItems(t *testing.T) {
-	srv, err := NewServer(Config{Backend: "countsketch", N: 16, Seed: 1})
+	srv, err := NewServer(backend.Spec{Kind: backend.KindCountSketch,
+		Options: core.Options{N: 16, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,26 +287,40 @@ func TestIngestRejectsOutOfDomainItems(t *testing.T) {
 	}
 }
 
-func TestNewServerValidatesConfig(t *testing.T) {
-	if _, err := NewServer(Config{Backend: "nope", N: 4}); err == nil {
-		t.Error("expected unknown backend error")
+func TestNewServerValidatesSpec(t *testing.T) {
+	if _, err := NewServer(backend.Spec{Kind: "nope", Options: core.Options{N: 4}}); err == nil {
+		t.Error("expected unknown kind error")
 	}
-	if _, err := NewServer(Config{Backend: "onepass", G: "nope", N: 4}); err == nil {
+	// The two-pass protocol needs a stream replay between passes; the
+	// HTTP surface cannot drive that, so the daemon must refuse the kind
+	// instead of serving a pass-1-only estimate.
+	if _, err := NewServer(backend.Spec{Kind: backend.KindTwoPass, G: "x^2",
+		Options: core.Options{N: 4}}); err == nil || !strings.Contains(err.Error(), "replay") {
+		t.Errorf("twopass kind not refused by the daemon: %v", err)
+	}
+	if _, err := NewServer(backend.Spec{Kind: backend.KindOnePass, G: "nope",
+		Options: core.Options{N: 4}}); err == nil {
 		t.Error("expected unknown function error")
 	}
-	if _, err := NewServer(Config{Backend: "countsketch"}); err == nil {
+	if _, err := NewServer(backend.Spec{Kind: backend.KindCountSketch}); err == nil {
 		t.Error("expected zero-domain error")
 	}
 }
 
-// windowCluster spins up two window-backend workers and a coordinator,
+func windowSpec(seed uint64, w uint64, k int) backend.Spec {
+	return backend.Spec{Kind: backend.KindWindow, G: "x^2",
+		Options: core.Options{N: 1 << 12, M: 1 << 10, Seed: seed, Lambda: 1.0 / 16},
+		Window:  window.Config{W: w, K: k}}
+}
+
+// windowCluster spins up two window-kind workers and a coordinator,
 // drives disjoint halves of a ticked stream through the workers
 // (advancing every clock through the same tick sequence), merges, and
 // returns the coordinator client.
-func windowCluster(t *testing.T, cfg Config, updates []stream.Update, ticks []uint64) *Client {
+func windowCluster(t *testing.T, spec backend.Spec, updates []stream.Update, ticks []uint64) *Client {
 	t.Helper()
 	mk := func() *Client {
-		srv, err := NewServer(cfg)
+		srv, err := NewServer(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +361,7 @@ func windowCluster(t *testing.T, cfg Config, updates []stream.Update, ticks []ui
 }
 
 // TestE2EWindowBackend: the coordinator's windowed estimate equals a
-// single-process window.Estimator fed the whole ticked stream — exactly
+// single-process window estimator fed the whole ticked stream — exactly
 // — and reports the clock and stale-tick diagnostics.
 func TestE2EWindowBackend(t *testing.T) {
 	s := testStream(5)
@@ -257,27 +370,26 @@ func TestE2EWindowBackend(t *testing.T) {
 	for i := range ticks {
 		ticks[i] = uint64(i) * 32 / uint64(len(updates))
 	}
-	cfg := Config{Backend: "window", G: "x^2", N: 1 << 12, M: 1 << 10,
-		Seed: 23, Lambda: 1.0 / 16, Window: 6, WindowK: 2}
+	spec := windowSpec(23, 6, 2)
 
-	ref, err := window.NewEstimator(gfunc.F2Func(), cfg.options(), window.Config{W: 6, K: 2})
+	est, err := backend.Open(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref := est.(backend.Windowed)
 	for i, u := range updates {
-		if err := ref.Update(u.Item, u.Delta, ticks[i]); err != nil {
-			t.Fatal(err)
-		}
+		ref.Advance(ticks[i])
+		est.Update(u.Item, u.Delta)
 	}
 	ref.Advance(ticks[len(ticks)-1])
 
-	cc := windowCluster(t, cfg, updates, ticks)
+	cc := windowCluster(t, spec, updates, ticks)
 	resp, err := cc.Estimate(url.Values{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := resp["estimate"].(float64); got != ref.Estimate() {
-		t.Fatalf("daemon windowed estimate %v != single-process %v", got, ref.Estimate())
+	if got := resp["estimate"].(float64); got != est.Estimate() {
+		t.Fatalf("daemon windowed estimate %v != single-process %v", got, est.Estimate())
 	}
 	if tick := resp["tick"].(float64); uint64(tick) != ref.Now() {
 		t.Fatalf("daemon clock %v != %d", tick, ref.Now())
@@ -287,11 +399,12 @@ func TestE2EWindowBackend(t *testing.T) {
 	}
 }
 
-// TestAdvanceEndpoint: past ticks are a no-op, non-window backends
-// refuse, and the window backend requires a window length.
+// TestAdvanceEndpoint: past ticks are a no-op, kinds without a clock
+// refuse, and the window kind requires a window length.
 func TestAdvanceEndpoint(t *testing.T) {
-	srv, err := NewServer(Config{Backend: "window", G: "x^2", N: 1 << 10, M: 1 << 8,
-		Seed: 1, Window: 4})
+	srv, err := NewServer(backend.Spec{Kind: backend.KindWindow, G: "x^2",
+		Options: core.Options{N: 1 << 10, M: 1 << 8, Seed: 1},
+		Window:  window.Config{W: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,27 +426,32 @@ func TestAdvanceEndpoint(t *testing.T) {
 		t.Fatalf("epoch-seconds jump: now=%d err=%v", now, err)
 	}
 
-	plain, err := NewServer(Config{Backend: "onepass", G: "x^2", N: 1 << 10, M: 1 << 8, Seed: 1})
+	plain, err := NewServer(backend.Spec{Kind: backend.KindOnePass, G: "x^2",
+		Options: core.Options{N: 1 << 10, M: 1 << 8, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	tsp := httptest.NewServer(plain.Handler())
 	t.Cleanup(tsp.Close)
 	if _, err := NewClient(tsp.URL, nil).Advance(1); err == nil {
-		t.Fatal("onepass backend accepted /v1/advance")
+		t.Fatal("onepass kind accepted /v1/advance")
 	}
 
-	if _, err := NewServer(Config{Backend: "window", G: "x^2", N: 1 << 10, M: 1 << 8, Seed: 1}); err == nil {
-		t.Fatal("window backend built without a window length")
+	if _, err := NewServer(backend.Spec{Kind: backend.KindWindow, G: "x^2",
+		Options: core.Options{N: 1 << 10, M: 1 << 8, Seed: 1}}); err == nil {
+		t.Fatal("window kind built without a window length")
 	}
 }
 
 // TestWindowMergeRejectsClockDrift: a coordinator that was not advanced
 // to the workers' tick must refuse the snapshot (409 via /v1/merge).
+// The Spec fingerprints MATCH here — clock drift is runtime state, not
+// configuration, so it is the wire format's boundary check that
+// catches it.
 func TestWindowMergeRejectsClockDrift(t *testing.T) {
-	cfg := Config{Backend: "window", G: "x^2", N: 1 << 10, M: 1 << 8, Seed: 2, Window: 4}
+	spec := windowSpec(2, 4, 0)
 	mk := func() *Client {
-		srv, err := NewServer(cfg)
+		srv, err := NewServer(spec)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,36 +1,43 @@
 // Package daemon implements gsumd, the distributed g-SUM aggregation
-// service: an HTTP daemon (stdlib net/http only) wrapping one sketch
-// backend. Because every backend is a linear sketch with a checked wire
-// format, N worker daemons ingesting disjoint shards of a stream and one
-// coordinator daemon merging their snapshots reproduce the single-machine
-// estimate exactly — same seed, same bytes.
+// service: an HTTP daemon (stdlib net/http only) wrapping one estimator
+// resolved through the backend registry (backend.Open on the daemon's
+// Spec). Because every registered kind is a linear sketch with a checked
+// wire format, N worker daemons ingesting disjoint shards of a stream
+// and one coordinator daemon merging their snapshots reproduce the
+// single-machine estimate exactly — same seed, same bytes.
 //
 // Endpoints (all under /v1):
 //
 //	POST /v1/ingest    JSON {"updates": [[item, delta], ...]} — batched
-//	                   turnstile updates, routed through internal/engine.
+//	                   turnstile updates through the unified Estimator.
 //	GET  /v1/snapshot  the serialized sketch state (application/octet-stream).
 //	POST /v1/merge     a serialized shard sketch to fold in (the body is a
 //	                   /v1/snapshot payload from a worker with the same
-//	                   configuration and seed; the fingerprint is checked).
-//	GET  /v1/estimate  the backend's estimate as JSON; parameters depend
-//	                   on the backend (?g=<name> for universal, ?item=<id>
-//	                   for countsketch point queries).
-//	POST /v1/advance   JSON {"tick": T} — move the window backend's tick
-//	                   clock (sliding-window aggregations only; past
-//	                   ticks are a no-op, other backends answer 400).
-//	GET  /v1/config    the daemon's configuration (sanity check that two
-//	                   daemons can merge before shipping counters).
+//	                   Spec; the wire fingerprint is checked, 409 on drift).
+//	GET  /v1/estimate  the estimate as JSON; extras depend on the kind's
+//	                   capabilities (?g=<name> for universal post-hoc
+//	                   queries, ?item=<id> for countsketch point queries,
+//	                   cover entries for heavy, clock fields for window).
+//	POST /v1/advance   JSON {"tick": T} — move the window kind's tick
+//	                   clock (past ticks are a no-op; kinds without a
+//	                   clock answer 400).
+//	GET  /v1/config    the daemon's normalized Spec, its fingerprint, and
+//	                   ingest/space counters.
+//	POST /v1/config    JSON {"fingerprint": F} — the pre-merge handshake:
+//	                   200 when F matches this daemon's Spec fingerprint,
+//	                   409 Conflict otherwise. Client.PullFrom checks every
+//	                   worker this way BEFORE pulling any snapshot, so a
+//	                   drifted deployment fails with zero merges.
 //	GET  /healthz      liveness.
 //
 // The deployment topology mirrors the cmd/server + cmd/worker split of
 // distributed work-queue systems: workers sit close to the traffic and
 // absorb updates; the coordinator owns the query surface.
 //
-// Layer: the service layer of ARCHITECTURE.md — HTTP transport over
-// the estimator and window layers; cmd/gsumd is its thin main.
-// Seed discipline: every daemon in one aggregation must be configured
-// with the same Config (including Seed, and for the window backend the
-// same tick sequence); /v1/merge enforces it via the wire fingerprints
-// and answers 409 on drift instead of merging garbage.
+// Layer: the service layer of ARCHITECTURE.md — HTTP transport over the
+// backend registry; cmd/gsumd is its thin main. Seed discipline: every
+// daemon in one aggregation must be built from the same Spec (Seed
+// included, and for the window kind the same tick sequence). The Spec
+// fingerprint handshake rejects drift at /v1/config; the wire
+// fingerprints re-check it at /v1/merge.
 package daemon

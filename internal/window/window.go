@@ -24,16 +24,17 @@ type Sketch[S any] interface {
 // DefaultK is the bucket-per-span-class capacity used when Config.K is 0.
 const DefaultK = 2
 
-// Config parameterizes a sliding window.
+// Config parameterizes a sliding window. The JSON tags define the
+// canonical encoding used inside backend Specs.
 type Config struct {
 	// W is the window length in ticks: estimates cover (now−W, now].
 	// It must be at least 1.
-	W uint64
+	W uint64 `json:"w"`
 	// K is the exponential-histogram capacity: at most K buckets per
 	// power-of-two span class before the two oldest of that class merge.
 	// Larger K means finer expiry granularity (smaller stale bound) and
 	// more buckets. 0 means DefaultK; values below 2 are rejected.
-	K int
+	K int `json:"k"`
 }
 
 func (c Config) withDefaults() Config {

@@ -1,15 +1,14 @@
 package workload
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"net/url"
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/engine"
@@ -26,8 +25,11 @@ import (
 // sharded parallel, and the gsumd worker/coordinator HTTP topology (spun
 // up in-process on loopback listeners, so a single `gsum bench
 // -backend daemon` run exercises the full distributed path end to end).
+// Every estimator — serial, per-shard, or behind a daemon — is resolved
+// through the backend registry from ONE Spec, so the three topologies
+// are provably configured identically (same Spec fingerprint).
 
-// Backends lists the ingestion backends RunBench accepts.
+// Backends lists the ingestion topologies RunBench accepts.
 var Backends = []string{"serial", "parallel", "daemon"}
 
 // BenchSpec configures one bench run.
@@ -52,8 +54,8 @@ type BenchSpec struct {
 	// Window, when positive, switches the run to sliding-window mode:
 	// the scenario stream is generated with a tick dimension (Ticked;
 	// Cfg.Ticks sets the stream's tick span) and the estimate covers
-	// only the last Window ticks, through internal/window on every
-	// backend. Exact ground truth is the g-SUM over the trailing
+	// only the last Window ticks, through the registry's window kind on
+	// every backend. Exact ground truth is the g-SUM over the trailing
 	// window's frequency vector.
 	Window int
 	// WindowK is the exponential-histogram capacity (0 = window.DefaultK).
@@ -83,6 +85,22 @@ type BenchResult struct {
 	StaleTicks uint64
 }
 
+// spec assembles the one backend.Spec a run resolves everything
+// through: the serial estimator, every parallel shard, and every daemon
+// in the topology. Whole-stream runs open the onepass kind (or the
+// parallel kind when sharding in-process); windowed runs open the
+// window kind.
+func (s BenchSpec) spec(n uint64) backend.Spec {
+	opts := s.Opts
+	opts.N = n
+	sp := backend.Spec{Kind: backend.KindOnePass, G: s.G.Name(), Options: opts}
+	if s.Window > 0 {
+		sp.Kind = backend.KindWindow
+		sp.Window = window.Config{W: uint64(s.Window), K: s.WindowK}
+	}
+	return sp
+}
+
 // RunBench generates the scenario stream, ingests it through the
 // requested backend, and returns throughput plus estimate-vs-exact
 // accuracy. Determinism contract: for a fixed (Generator, Cfg, G, Opts),
@@ -105,8 +123,7 @@ func RunBench(spec BenchSpec) (BenchResult, error) {
 	v := s.Vector()
 	exact := v.Sum(spec.G.Eval)
 
-	opts := spec.Opts
-	opts.N = s.N()
+	sp := spec.spec(s.N())
 
 	var est float64
 	var space int
@@ -116,15 +133,26 @@ func RunBench(spec BenchSpec) (BenchResult, error) {
 	case "", "serial":
 		spec.Backend = "serial"
 		start := time.Now()
-		e := core.NewOnePass(spec.G, opts)
-		e.Process(s)
+		e, err := backend.Open(sp)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if err := backend.Process(e, s); err != nil {
+			return BenchResult{}, err
+		}
 		elapsed = time.Since(start)
 		est, space = e.Estimate(), e.SpaceBytes()
 	case "parallel":
 		workers = engine.Workers(spec.Workers)
+		psp := sp
+		psp.Kind = backend.KindParallel
+		psp.Workers = spec.Workers
 		start := time.Now()
-		e := core.NewOnePass(spec.G, opts)
-		if err := e.ProcessParallel(s, spec.Workers); err != nil {
+		e, err := backend.Open(psp)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if err := backend.Process(e, s); err != nil {
 			return BenchResult{}, err
 		}
 		elapsed = time.Since(start)
@@ -136,7 +164,7 @@ func RunBench(spec BenchSpec) (BenchResult, error) {
 			workers = 1
 		}
 		var err error
-		est, space, elapsed, err = runDaemonBench(s, spec, opts, workers)
+		est, space, elapsed, err = runDaemonBench(s, spec, sp, workers)
 		if err != nil {
 			return BenchResult{}, err
 		}
@@ -167,10 +195,10 @@ type localDaemon struct {
 	base   string
 }
 
-// startDaemon builds a gsumd server for cfg and serves it on
+// startDaemon builds a gsumd server for the Spec and serves it on
 // 127.0.0.1:0 (kernel-assigned port).
-func startDaemon(cfg daemon.Config) (*localDaemon, error) {
-	s, err := daemon.NewServer(cfg)
+func startDaemon(sp backend.Spec) (*localDaemon, error) {
+	s, err := daemon.NewServer(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -190,24 +218,14 @@ func (d *localDaemon) close() { _ = d.srv.Close() }
 // `workers` worker daemons ingest disjoint contiguous shards of the
 // stream over HTTP (/v1/ingest), and a coordinator daemon pulls and
 // merges their snapshots (/v1/snapshot → /v1/merge) before answering
-// /v1/estimate. All daemons share the spec's configuration and seed, so
-// the merged estimate equals the serial one exactly (seed discipline +
-// linearity; the wire fingerprints enforce the former). The returned
-// duration covers ingest through estimate; daemon startup (listeners,
-// sketch construction) is excluded, mirroring how the other backends
-// exclude stream generation.
-func runDaemonBench(s *stream.Stream, spec BenchSpec, opts core.Options, workers int) (float64, int, time.Duration, error) {
-	dcfg := daemon.Config{
-		Backend: "onepass",
-		G:       spec.G.Name(),
-		N:       opts.N,
-		M:       opts.M,
-		Eps:     opts.Eps,
-		Delta:   opts.Delta,
-		Lambda:  opts.Lambda,
-		Seed:    opts.Seed,
-	}
-	coord, err := startDaemon(dcfg)
+// /v1/estimate. Every daemon is built from the SAME Spec, so the merged
+// estimate equals the serial one exactly (seed discipline + linearity;
+// the /v1/config fingerprint handshake proves the former before any
+// snapshot ships). The returned duration covers ingest through
+// estimate; daemon startup (listeners, sketch construction) is
+// excluded, mirroring how the other backends exclude stream generation.
+func runDaemonBench(s *stream.Stream, spec BenchSpec, sp backend.Spec, workers int) (float64, int, time.Duration, error) {
+	coord, err := startDaemon(sp)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -215,7 +233,7 @@ func runDaemonBench(s *stream.Stream, spec BenchSpec, opts core.Options, workers
 	ws := make([]*localDaemon, workers)
 	urls := make([]string, workers)
 	for i := range ws {
-		if ws[i], err = startDaemon(dcfg); err != nil {
+		if ws[i], err = startDaemon(sp); err != nil {
 			return 0, 0, 0, err
 		}
 		defer ws[i].close()
@@ -253,39 +271,22 @@ func runDaemonBench(s *stream.Stream, spec BenchSpec, opts core.Options, workers
 		return 0, 0, 0, fmt.Errorf("workload: daemon estimate response missing numeric estimate: %v", resp)
 	}
 	space := 0
-	if sb, err := coord.spaceBytes(); err == nil {
-		space = sb
+	if info, err := coord.client.Config(); err == nil {
+		space = info.SpaceBytes
 	}
 	return est, space, elapsed, nil
-}
-
-// spaceBytes reads the coordinator's reported sketch size from
-// /v1/config.
-func (d *localDaemon) spaceBytes() (int, error) {
-	resp, err := http.Get(d.base + "/v1/config")
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	var cfg struct {
-		SpaceBytes int `json:"space_bytes"`
-	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&cfg); err != nil {
-		return 0, err
-	}
-	return cfg.SpaceBytes, nil
 }
 
 // --- windowed mode ---------------------------------------------------------
 
 // runWindowedBench is the sliding-window variant of RunBench: the
-// scenario stream gains a tick dimension (Ticked), every backend runs a
-// window.Estimator (serial, one per shard, or behind gsumd's window
-// backend with /v1/advance), and the estimate is scored against the
-// exact g-SUM over the trailing Window ticks. The determinism contract
-// carries over: bucket structure is a pure function of the tick
-// sequence, so serial, parallel, and daemon windowed estimates are
-// bit-identical (same tracker-capacity caveat as whole-stream runs).
+// scenario stream gains a tick dimension (Ticked), every backend opens
+// the registry's window kind (serial, one per shard, or behind gsumd
+// with /v1/advance), and the estimate is scored against the exact g-SUM
+// over the trailing Window ticks. The determinism contract carries
+// over: bucket structure is a pure function of the tick sequence, so
+// serial, parallel, and daemon windowed estimates are bit-identical
+// (same tracker-capacity caveat as whole-stream runs).
 func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 	cfg := spec.Cfg.withDefaults()
 	genStart := time.Now()
@@ -297,9 +298,7 @@ func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 	wv := ts.WindowVector(w)
 	exact := wv.Sum(spec.G.Eval)
 
-	opts := spec.Opts
-	opts.N = ts.Stream.N()
-	wcfg := window.Config{W: w, K: spec.WindowK}
+	sp := spec.spec(ts.Stream.N())
 
 	var est float64
 	var space int
@@ -310,15 +309,13 @@ func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 	case "", "serial":
 		spec.Backend = "serial"
 		start := time.Now()
-		e, err := window.NewEstimator(spec.G, opts, wcfg)
+		e, win, err := openWindowed(sp)
 		if err != nil {
 			return BenchResult{}, err
 		}
-		if err := ingestTicked(e, ts, 0, ts.Stream.Len()); err != nil {
-			return BenchResult{}, err
-		}
-		e.Advance(last)
-		est, space, stale = e.Estimate(), e.SpaceBytes(), e.Stale()
+		ingestTicked(e, win, ts, 0, ts.Stream.Len())
+		win.Advance(last)
+		est, space, stale = e.Estimate(), e.SpaceBytes(), win.Stale()
 		elapsed = time.Since(start)
 	case "parallel":
 		workers = engine.Workers(spec.Workers)
@@ -327,20 +324,18 @@ func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 		if workers > n && n > 0 {
 			workers = n
 		}
-		shards := make([]*window.Estimator, workers)
+		shards := make([]backend.Estimator, workers)
 		errs := make([]error, workers)
 		var wg sync.WaitGroup
 		for i := 0; i < workers; i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				e, err := window.NewEstimator(spec.G, opts, wcfg)
+				e, win, err := openWindowed(sp)
 				if err == nil {
 					lo, hi := engine.Cut(n, workers, i)
-					err = ingestTicked(e, ts, lo, hi)
-				}
-				if err == nil {
-					e.Advance(last)
+					ingestTicked(e, win, ts, lo, hi)
+					win.Advance(last)
 				}
 				shards[i], errs[i] = e, err
 			}(i)
@@ -352,18 +347,19 @@ func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 			}
 		}
 		for i := 1; i < workers; i++ {
-			if err := shards[0].Merge(shards[i]); err != nil {
+			if err := backend.Merge(shards[0], shards[i]); err != nil {
 				return BenchResult{}, err
 			}
 		}
-		est, space, stale = shards[0].Estimate(), shards[0].SpaceBytes(), shards[0].Stale()
+		est, space = shards[0].Estimate(), shards[0].SpaceBytes()
+		stale = shards[0].(backend.Windowed).Stale()
 		elapsed = time.Since(start)
 	case "daemon":
 		if workers = spec.Workers; workers < 1 {
 			workers = 1
 		}
 		var err error
-		est, space, stale, elapsed, err = runWindowedDaemonBench(ts, spec, opts, wcfg, workers)
+		est, space, stale, elapsed, err = runWindowedDaemonBench(ts, spec, sp, workers)
 		if err != nil {
 			return BenchResult{}, err
 		}
@@ -390,35 +386,39 @@ func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 	}, nil
 }
 
+// openWindowed opens the window kind and returns both faces of it: the
+// unified Estimator and the Windowed clock capability.
+func openWindowed(sp backend.Spec) (backend.Estimator, backend.Windowed, error) {
+	e, err := backend.Open(sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	win, ok := e.(backend.Windowed)
+	if !ok {
+		return nil, nil, fmt.Errorf("workload: kind %q has no tick clock", sp.Kind)
+	}
+	return e, win, nil
+}
+
 // ingestTicked feeds updates [lo, hi) of a ticked stream into the
-// estimator, batching every run of equal-tick updates through the
-// amortized batch path.
-func ingestTicked(e *window.Estimator, ts *TickedStream, lo, hi int) error {
+// estimator, advancing the clock at each tick boundary and batching
+// every run of equal-tick updates through the amortized batch path.
+func ingestTicked(e backend.Estimator, win backend.Windowed, ts *TickedStream, lo, hi int) {
 	updates := ts.Stream.Updates()
-	return ts.EachRun(lo, hi, func(lo, hi int, tick uint64) error {
-		return e.UpdateBatch(updates[lo:hi], tick)
+	_ = ts.EachRun(lo, hi, func(lo, hi int, tick uint64) error {
+		win.Advance(tick)
+		e.UpdateBatch(updates[lo:hi])
+		return nil
 	})
 }
 
 // runWindowedDaemonBench drives the windowed distributed topology:
-// window-backend worker daemons absorb tick-stamped shards (advancing
+// window-kind worker daemons absorb tick-stamped shards (advancing
 // their clocks via /v1/advance between tick runs), every clock is
 // synchronized to the final tick, and the coordinator pull-merges the
 // worker windows before answering /v1/estimate.
-func runWindowedDaemonBench(ts *TickedStream, spec BenchSpec, opts core.Options, wcfg window.Config, workers int) (float64, int, uint64, time.Duration, error) {
-	dcfg := daemon.Config{
-		Backend: "window",
-		G:       spec.G.Name(),
-		N:       opts.N,
-		M:       opts.M,
-		Eps:     opts.Eps,
-		Delta:   opts.Delta,
-		Lambda:  opts.Lambda,
-		Seed:    opts.Seed,
-		Window:  wcfg.W,
-		WindowK: wcfg.K,
-	}
-	coord, err := startDaemon(dcfg)
+func runWindowedDaemonBench(ts *TickedStream, spec BenchSpec, sp backend.Spec, workers int) (float64, int, uint64, time.Duration, error) {
+	coord, err := startDaemon(sp)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -426,7 +426,7 @@ func runWindowedDaemonBench(ts *TickedStream, spec BenchSpec, opts core.Options,
 	ws := make([]*localDaemon, workers)
 	urls := make([]string, workers)
 	for i := range ws {
-		if ws[i], err = startDaemon(dcfg); err != nil {
+		if ws[i], err = startDaemon(sp); err != nil {
 			return 0, 0, 0, 0, err
 		}
 		defer ws[i].close()
@@ -484,8 +484,8 @@ func runWindowedDaemonBench(ts *TickedStream, spec BenchSpec, opts core.Options,
 		stale = uint64(s)
 	}
 	space := 0
-	if sb, err := coord.spaceBytes(); err == nil {
-		space = sb
+	if info, err := coord.client.Config(); err == nil {
+		space = info.SpaceBytes
 	}
 	return est, space, stale, elapsed, nil
 }

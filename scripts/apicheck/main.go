@@ -1,0 +1,136 @@
+// Command apicheck is the exported-API gate: it dumps the exported
+// surface of the root package by parsing `go doc -all` output and diffs
+// it against the committed golden file api.txt, so an accidental
+// signature change, removal, or addition fails CI's docs job instead of
+// slipping into a release.
+//
+// # Usage
+//
+//	go run ./scripts/apicheck            # compare against api.txt
+//	go run ./scripts/apicheck -write     # regenerate api.txt after an
+//	                                     # intentional API change
+//
+// The dump keeps only declaration lines: everything before the first
+// section header (the package doc) and every doc-comment line (indented
+// four spaces by go doc) or source comment is dropped, so prose edits
+// never churn the golden file — only real surface changes do. Exit
+// codes: 0 clean, 1 surface drift, 2 usage or tooling errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// sectionHeaders are go doc -all's flush-left group banners; the dump
+// starts at the first one (everything above is the package doc).
+var sectionHeaders = map[string]bool{
+	"CONSTANTS": true,
+	"VARIABLES": true,
+	"FUNCTIONS": true,
+	"TYPES":     true,
+}
+
+// normalize reduces go doc -all output to the declaration surface.
+func normalize(out string) []string {
+	var kept []string
+	inDecls := false
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !inDecls {
+			inDecls = sectionHeaders[trimmed]
+			if !inDecls {
+				continue
+			}
+		}
+		if trimmed == "" {
+			continue
+		}
+		// Doc comments are indented four spaces by go doc; source
+		// comments inside declaration blocks start with //. Neither is
+		// API surface.
+		if strings.HasPrefix(line, "    ") || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return kept
+}
+
+// diff reports lines present in exactly one of the two dumps.
+func diff(got, want []string) []string {
+	gotSet := make(map[string]int)
+	for _, l := range got {
+		gotSet[l]++
+	}
+	wantSet := make(map[string]int)
+	for _, l := range want {
+		wantSet[l]++
+	}
+	var out []string
+	for _, l := range want {
+		if gotSet[l] == 0 {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range got {
+		if wantSet[l] == 0 {
+			out = append(out, "+ "+l)
+		}
+	}
+	return out
+}
+
+func run() int {
+	golden := flag.String("golden", "api.txt", "path to the committed API golden file")
+	pkg := flag.String("pkg", ".", "package to dump (argument to go doc -all)")
+	write := flag.Bool("write", false, "regenerate the golden file instead of comparing")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: apicheck [-golden api.txt] [-pkg .] [-write]")
+		return 2
+	}
+
+	cmd := exec.Command("go", "doc", "-all", *pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: go doc -all %s: %v\n", *pkg, err)
+		return 2
+	}
+	got := normalize(string(out))
+	dump := strings.Join(got, "\n") + "\n"
+
+	if *write {
+		if err := os.WriteFile(*golden, []byte(dump), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			return 2
+		}
+		fmt.Printf("apicheck: wrote %d declaration lines to %s\n", len(got), *golden)
+		return 0
+	}
+
+	data, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v (run with -write to create the golden file)\n", err)
+		return 2
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if d := diff(got, want); len(d) > 0 {
+		fmt.Fprintf(os.Stderr, "apicheck: exported surface of %s drifted from %s (- missing, + new):\n", *pkg, *golden)
+		for _, l := range d {
+			fmt.Fprintln(os.Stderr, l)
+		}
+		fmt.Fprintln(os.Stderr, "apicheck: if the change is intentional, regenerate with: go run ./scripts/apicheck -write")
+		return 1
+	}
+	fmt.Printf("apicheck: %s matches %s (%d declaration lines)\n", *pkg, *golden, len(got))
+	return 0
+}

@@ -1,9 +1,11 @@
 // Command benchdiff is the CI performance regression gate: it parses
 // `go test -bench` output, extracts the ns/op of every gated benchmark
-// — the BenchmarkProcess* ingestion family and the BenchmarkWindow*
-// sliding-window family, taking the MINIMUM across repeated -count
-// runs, the least noisy statistic on shared CI runners — and compares
-// against the committed baseline.
+// — the BenchmarkProcess* ingestion family (BenchmarkProcessRegistry
+// included: the registry-dispatch ingest path), the BenchmarkWindow*
+// sliding-window family, and the BenchmarkOpen/BenchmarkSpecFingerprint
+// registry layer, taking the MINIMUM across repeated -count runs, the
+// least noisy statistic on shared CI runners — and compares against the
+// committed baseline.
 //
 // # Usage
 //
@@ -11,7 +13,7 @@
 // .github/workflows/ci.yml does on every push; benchdiff lives in
 // scripts/, so `go run ./scripts` runs it from the repo root):
 //
-//	go test -run '^$' -bench '^Benchmark(Process|Window)' -benchtime 3x -count 3 . | tee bench.txt
+//	go test -run '^$' -bench '^Benchmark(Process|Window|Open|SpecFingerprint)' -benchtime 3x -count 3 . | tee bench.txt
 //	go run ./scripts -baseline BENCH_baseline.json -current bench.txt
 //
 // Exit codes: 0 when every gated benchmark is within threshold, 1 on a
@@ -32,8 +34,8 @@
 // BenchmarkProcessWorkload/zipf).
 //
 // -prefix takes a comma-separated list of gated name prefixes (default
-// "BenchmarkProcess,BenchmarkWindow"); results matching none of them
-// are ignored entirely.
+// "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint");
+// results matching none of them are ignored entirely.
 //
 // Refresh the baseline after an intentional performance change (this
 // rewrites every gated entry with the current run's minima):
@@ -111,7 +113,7 @@ func run() int {
 	current := flag.String("current", "", "path to `go test -bench` output")
 	baselinePath := flag.String("baseline", "", "path to the committed baseline JSON")
 	write := flag.String("write", "", "write a fresh baseline JSON to this path and exit")
-	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow",
+	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint",
 		"comma-separated benchmark name prefixes to gate")
 	threshold := flag.Float64("threshold", 2.0, "fail when current > threshold * baseline")
 	flag.Parse()

@@ -41,24 +41,103 @@
 //
 // # Quick start
 //
-//	g := universal.X2Log()                 // g(x) = x² lg(1+x), 1-pass tractable
-//	s := universal.NewStream(1 << 12)      // turnstile stream, domain [0, 4096)
+// Every estimator is described by a Spec and built by Open — one
+// configuration object, one constructor, one streaming contract:
+//
+//	spec := universal.Spec{
+//		Kind:    universal.KindOnePass,       // or twopass, universal, window, ...
+//		G:       "x^2 lg(1+x)",               // catalog function name
+//		Options: universal.Options{N: 1 << 12, M: 1 << 10},
+//	}
+//	est, err := universal.Open(spec)         // same Spec => same sketch, any machine
+//	s := universal.NewStream(1 << 12)        // turnstile stream, domain [0, 4096)
 //	s.Add(7, +3)
 //	s.Add(9, -2)
-//	est := universal.NewOnePassEstimator(g, universal.Options{N: 1 << 12, M: 1 << 10})
-//	est.Process(s)
+//	universal.Process(est, s)
 //	fmt.Println(est.Estimate())
 //
-// See examples/ for runnable programs.
+// The NewXxx constructors below remain as typed shims over the same
+// machinery. See examples/ for runnable programs and the README for the
+// old-constructor → Spec migration table.
 package universal
 
 import (
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gfunc"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
+
+// Spec is the typed, serializable description of any estimator in this
+// repository: a Kind, a catalog function name, Options, and the
+// kind-specific extras. Open(Spec) is the unified constructor; the
+// legacy NewXxx constructors below remain as thin shims over the same
+// machinery. Spec has a canonical JSON encoding (CanonicalJSON) and a
+// configuration fingerprint (Fingerprint) that distributed deployments
+// exchange to prove they built identical sketches BEFORE shipping
+// snapshots (gsumd's /v1/config handshake answers 409 on drift).
+type Spec = backend.Spec
+
+// Kind names a registered estimator family; see the Kind* constants.
+type Kind = backend.Kind
+
+// The registered estimator kinds. Kinds() reports the full set at run
+// time; each value documents its family in internal/backend.
+const (
+	KindOnePass     = backend.KindOnePass
+	KindTwoPass     = backend.KindTwoPass
+	KindParallel    = backend.KindParallel
+	KindUniversal   = backend.KindUniversal
+	KindWindow      = backend.KindWindow
+	KindCountSketch = backend.KindCountSketch
+	KindHeavy       = backend.KindHeavy
+	KindExact       = backend.KindExact
+)
+
+// Estimator is the unified contract every kind satisfies: streaming
+// ingestion (Update/UpdateBatch), an Estimate, and the merge-semantics
+// wire format (MarshalBinary/UnmarshalBinary). Richer behavior is
+// reached through the capability interfaces (Windowed, TwoPass, ...).
+type Estimator = backend.Estimator
+
+// Windowed is the capability of kinds with a tick clock (KindWindow):
+// Advance moves time, Estimate covers the trailing window.
+type Windowed = backend.Windowed
+
+// TwoPassSink is the capability of kinds that replay the stream
+// (KindTwoPass): feed every update, FinishPass1, feed every update
+// again, then Estimate.
+type TwoPassSink = backend.TwoPass
+
+// FuncQuerier is the capability of kinds answering post-hoc g-SUM
+// queries for arbitrary catalog functions (KindUniversal).
+type FuncQuerier = backend.FuncQuerier
+
+// Open validates spec and constructs the estimator through the backend
+// registry. It is a pure function of the Spec: two Open calls with
+// equal Specs — in one process or on two machines — return estimators
+// with identical hash functions and wire fingerprints, so their
+// snapshots merge exactly.
+func Open(spec Spec) (Estimator, error) { return backend.Open(spec) }
+
+// Kinds returns the registered estimator kind names, sorted.
+func Kinds() []string { return backend.Kinds() }
+
+// Describe returns the one-line registry description of a kind ("" if
+// unknown). CLI surfaces print this instead of hand-maintained lists.
+func Describe(k Kind) string { return backend.Describe(k) }
+
+// Process drives a whole in-memory stream through est using its richest
+// capability: KindParallel shards it, KindTwoPass replays it for both
+// passes, everything else streams it through the batched path.
+func Process(est Estimator, s *Stream) error { return backend.Process(est, s) }
+
+// Merge folds src into dst. Both must come from Open of equal Specs;
+// kinds without an in-memory merge fold through the wire format, whose
+// fingerprint enforces the equal-configuration contract either way.
+func Merge(dst, src Estimator) error { return backend.Merge(dst, src) }
 
 // Func is a function g in the paper's class G (g(0)=0, g(1)=1, g(x)>0 for
 // x>0). Implement it directly or use the catalog constructors below.
