@@ -13,13 +13,34 @@
 // Deployment topology: run one gsumd per traffic shard (workers) and one
 // for queries (coordinator), all with IDENTICAL flags except -addr. Push
 // updates to the workers (gsum push), then fold worker snapshots into
-// the coordinator (gsum query -pull, or POST each worker's /v1/snapshot
-// body to the coordinator's /v1/merge). Because the sketches are linear
-// and seeded identically, the coordinator's estimate equals the
-// single-machine estimate over the whole stream — exactly, not
-// approximately. Configuration drift is caught twice: the /v1/config
-// Spec-fingerprint handshake answers 409 before any snapshot ships, and
-// the wire format's fingerprint re-checks it at /v1/merge.
+// the coordinator (gsum query -pull, or let the coordinator do it
+// itself — see below). Because the sketches are linear and seeded
+// identically, the coordinator's estimate equals the single-machine
+// estimate over the whole stream — exactly, not approximately.
+// Configuration drift is caught twice: the /v1/config Spec-fingerprint
+// handshake answers 409 before any snapshot ships, and the wire
+// format's fingerprint re-checks it at /v1/merge.
+//
+// Durability: -state-dir enables snapshot checkpointing. The daemon
+// atomically persists its sketch every -checkpoint-every interval and
+// once more while draining on SIGINT/SIGTERM; on boot it restores the
+// checkpoint, refusing one whose Spec fingerprint differs from the
+// flags (a drifted or stale state dir fails loudly instead of merging
+// garbage):
+//
+//	gsumd -backend onepass -f x^2 -seed 42 -state-dir /var/lib/gsumd-w1
+//
+// Self-healing cluster: a coordinator started with -pull-from (and/or
+// -heartbeat, for dynamically registered workers) runs membership
+// loops — it heartbeats every worker through the fingerprint handshake,
+// marks one down after consecutive misses, and periodically pulls every
+// live worker's snapshot, rebuilding its aggregate from the full set so
+// repeated pulls never double-count. Workers announce themselves with
+// -register (POST /v1/register); a crashed worker that restarts from
+// its checkpoint is re-absorbed on the next pull round:
+//
+//	gsumd -backend onepass -f x^2 -seed 42 -addr :7600 \
+//	      -pull-from http://w1:7601,http://w2:7602 -heartbeat 2s -pull-every 10s
 //
 // The window kind adds a clock: run every daemon with the same -window
 // (and optional -windowk), POST the tick to /v1/advance on each daemon
@@ -30,13 +51,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/cliflag"
@@ -49,10 +75,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// serve is stubbed by tests; it blocks until the listener dies.
-var serve = func(l net.Listener, h http.Handler) error {
-	return http.Serve(l, h)
+// serve is stubbed by tests; it blocks until the listener dies or the
+// server is shut down.
+var serve = func(l net.Listener, s *http.Server) error {
+	return s.Serve(l)
 }
+
+// drainTimeout bounds graceful shutdown: in-flight requests get this
+// long to finish before the listener is torn down hard.
+const drainTimeout = 10 * time.Second
 
 // listKinds prints the registered backend kinds with their registry
 // descriptions — the `-backend list` surface, generated from the code
@@ -85,6 +116,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	topk := fs.Int("topk", 0, "countsketch tracked candidates (0 = no tracker)")
 	win := fs.Uint64("window", 0, "window kind: estimate the last W ticks of the /v1/advance clock")
 	wink := fs.Int("windowk", 0, "window kind: histogram buckets per span class (0 = default 2)")
+	stateDir := fs.String("state-dir", "", "directory for the daemon's checkpoint; enables restore-on-boot and periodic checkpointing")
+	ckptEvery := fs.Duration("checkpoint-every", 15*time.Second, "checkpoint cadence when -state-dir is set (a final checkpoint is always written on graceful shutdown)")
+	pullFrom := fs.String("pull-from", "", "comma-separated worker base URLs; seeds the membership registry and starts the coordinator's heartbeat + auto-pull loops")
+	heartbeat := fs.Duration("heartbeat", 0, "worker heartbeat cadence; > 0 starts the membership loops even with an empty -pull-from (workers then join via -register), 0 = 2s when -pull-from is given")
+	pullEvery := fs.Duration("pull-every", 0, "snapshot auto-pull cadence for the coordinator loops (0 = 10s)")
+	register := fs.String("register", "", "coordinator base URL to announce this worker to on startup (POST /v1/register)")
+	advertise := fs.String("advertise", "", "base URL this worker is reachable at, for -register (default http://<listen addr>)")
 	if code, ok := cliflag.Parse(fs, argv, stderr); !ok {
 		return code
 	}
@@ -106,16 +144,117 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)
 		return 1
 	}
+
+	// Restore before listening: a daemon must never serve estimates from
+	// a fresh sketch while a checkpoint it should have loaded sits on
+	// disk, and a drifted checkpoint must abort the boot entirely.
+	var ckptPath string
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "gsumd: state dir: %v\n", err)
+			return 1
+		}
+		ckptPath = daemon.CheckpointPath(*stateDir)
+		switch err := srv.RestoreCheckpoint(ckptPath); {
+		case err == nil:
+			fmt.Fprintf(stdout, "gsumd: restored checkpoint %s\n", ckptPath)
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(stdout, "gsumd: no checkpoint in %s, starting fresh\n", *stateDir)
+		default:
+			fmt.Fprintf(stderr, "gsumd: %v\n", err)
+			return 1
+		}
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)
 		return 1
 	}
+
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(stderr, "gsumd: "+format+"\n", args...)
+	}
+
+	if *register != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + l.Addr().String()
+		}
+		// The coordinator may simply not be up yet; registration failure
+		// is a warning, not a fatal error — the operator (or a restart)
+		// can re-register, and -pull-from on the coordinator side works
+		// without any registration at all.
+		if err := daemon.NewClient(*register, nil).Register(self); err != nil {
+			logf("register at %s: %v (continuing unregistered)", *register, err)
+		} else {
+			fmt.Fprintf(stdout, "gsumd: registered %s at coordinator %s\n", self, *register)
+		}
+	}
+
+	membershipOn := *pullFrom != "" || *heartbeat > 0
+	if *pullFrom != "" {
+		for _, w := range strings.Split(*pullFrom, ",") {
+			if err := srv.Membership().Add(strings.TrimSpace(w)); err != nil {
+				fmt.Fprintf(stderr, "gsumd: %v\n", err)
+				return 1
+			}
+		}
+	}
+	if membershipOn {
+		srv.Membership().Start(daemon.MembershipConfig{
+			Heartbeat: *heartbeat, PullEvery: *pullEvery, Logf: logf})
+		fmt.Fprintf(stdout, "gsumd: membership loops running (%d seeded workers)\n",
+			len(srv.Membership().Members()))
+	}
+
+	var ckpt *daemon.Checkpointer
+	if ckptPath != "" {
+		ckpt = daemon.StartCheckpointer(srv, ckptPath, *ckptEvery, logf)
+	}
+
+	// The daemon serves through an http.Server with bounded read/write
+	// windows (a wedged peer cannot pin a handler goroutine forever) and
+	// drains gracefully on SIGINT/SIGTERM: stop accepting, let in-flight
+	// requests finish (up to drainTimeout), then write the final
+	// checkpoint so an orderly restart loses nothing.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		_ = httpSrv.Shutdown(shCtx)
+	}()
+
 	fmt.Fprintf(stdout, "gsumd: backend=%s g=%s seed=%d fingerprint=%#x listening on %s\n",
 		*kind, *fname, *seed, srv.Spec().Fingerprint(), l.Addr())
-	if err := serve(l, srv.Handler()); err != nil {
+	err = serve(l, httpSrv)
+	stopSignals()
+
+	code := 0
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)
-		return 1
+		code = 1
 	}
-	return 0
+	srv.Membership().Stop()
+	if ckpt != nil {
+		if cerr := ckpt.Stop(); cerr != nil {
+			fmt.Fprintf(stderr, "gsumd: final checkpoint: %v\n", cerr)
+			code = 1
+		} else {
+			fmt.Fprintf(stdout, "gsumd: final checkpoint written to %s\n", ckptPath)
+		}
+	}
+	if errors.Is(err, http.ErrServerClosed) && code == 0 {
+		fmt.Fprintln(stdout, "gsumd: drained")
+	}
+	return code
 }

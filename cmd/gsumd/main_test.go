@@ -4,19 +4,45 @@ import (
 	"bytes"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/backend"
+	"repro/internal/daemon"
 )
+
+// syncBuffer lets the test read run()'s output while run() is still
+// writing it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // stubServe replaces the blocking serve loop and captures the handler.
 func stubServe(t *testing.T) *http.Handler {
 	t.Helper()
 	orig := serve
 	var got http.Handler
-	serve = func(l net.Listener, h http.Handler) error {
-		got = h
+	serve = func(l net.Listener, s *http.Server) error {
+		got = s.Handler
 		l.Close()
 		return nil
 	}
@@ -81,6 +107,155 @@ func TestRunRejectsStrayArguments(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unexpected arguments") {
 		t.Errorf("stderr %q does not flag the stray argument", errb.String())
+	}
+}
+
+// listenAddrOf polls the banner for the bound address.
+func listenAddrOf(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	re := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen banner in output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGracefulShutdownWritesCheckpointAndRestores drives the real
+// lifecycle end to end: serve with -state-dir, push traffic, SIGINT,
+// assert run() drains and writes the final checkpoint, then boot a
+// second daemon from the same state dir and assert the state survived.
+func TestGracefulShutdownWritesCheckpointAndRestores(t *testing.T) {
+	stateDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-backend", "onepass", "-f", "x^2",
+		"-seed", "7", "-state-dir", stateDir, "-checkpoint-every", "1h"}
+
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run(args, &out, &errb) }()
+	addr := listenAddrOf(t, &out)
+
+	c := daemon.NewClient("http://"+addr, nil)
+	if err := c.Push(nil); err != nil { // liveness: the surface is up
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/ingest", "application/json",
+		strings.NewReader(`{"updates":[[3,5],[9,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	before, err := c.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -INT: drain and checkpoint. The interval is an hour, so the
+	// checkpoint on disk can only come from the shutdown path.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d, stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after SIGINT")
+	}
+	if !strings.Contains(out.String(), "final checkpoint written") || !strings.Contains(out.String(), "drained") {
+		t.Errorf("missing drain/checkpoint banners:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, daemon.CheckpointName)); err != nil {
+		t.Fatalf("no checkpoint after graceful shutdown: %v", err)
+	}
+
+	// Second boot restores it.
+	var out2, errb2 syncBuffer
+	done2 := make(chan int, 1)
+	go func() { done2 <- run(args, &out2, &errb2) }()
+	addr2 := listenAddrOf(t, &out2)
+	if !strings.Contains(out2.String(), "restored checkpoint") {
+		t.Errorf("restart did not report a restore:\n%s", out2.String())
+	}
+	after, err := daemon.NewClient("http://"+addr2, nil).Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after["estimate"] != before["estimate"] {
+		t.Errorf("estimate after restart %v != before shutdown %v", after["estimate"], before["estimate"])
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done2:
+	case <-time.After(15 * time.Second):
+		t.Fatal("second run did not drain after SIGINT")
+	}
+}
+
+// TestRunRefusesDriftedStateDir: booting over a checkpoint written
+// under a different Spec must fail loudly before serving anything.
+func TestRunRefusesDriftedStateDir(t *testing.T) {
+	stateDir := t.TempDir()
+	base := []string{"-addr", "127.0.0.1:0", "-backend", "onepass", "-f", "x^2",
+		"-state-dir", stateDir, "-checkpoint-every", "1h"}
+
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run(append(base, "-seed", "1"), &out, &errb) }()
+	listenAddrOf(t, &out)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after SIGINT")
+	}
+
+	var out2, errb2 bytes.Buffer
+	if code := run(append(base, "-seed", "2"), &out2, &errb2); code != 1 {
+		t.Fatalf("drifted state dir: exit %d, want 1 (stderr: %s)", code, errb2.String())
+	}
+	if !strings.Contains(errb2.String(), "fingerprint mismatch") {
+		t.Errorf("stderr %q does not name the fingerprint mismatch", errb2.String())
+	}
+}
+
+// TestRunStateDirStartsFresh: an empty state dir is a fresh start, not
+// an error.
+func TestRunStateDirStartsFresh(t *testing.T) {
+	h := stubServe(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-addr", "127.0.0.1:0", "-state-dir", t.TempDir()}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if *h == nil {
+		t.Fatal("serve was not reached")
+	}
+	if !strings.Contains(out.String(), "starting fresh") {
+		t.Errorf("missing fresh-start banner: %q", out.String())
+	}
+}
+
+// TestRunRejectsBadPullFrom: a malformed -pull-from URL is a fatal
+// configuration error.
+func TestRunRejectsBadPullFrom(t *testing.T) {
+	stubServe(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:0", "-pull-from", "not a url"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "base URL") {
+		t.Errorf("stderr %q does not explain the bad URL", errb.String())
 	}
 }
 

@@ -2,35 +2,64 @@ package daemon
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"repro/internal/stream"
 )
 
-// Client talks to one gsumd daemon. The zero HTTP client is fine for the
-// walkthrough scale; callers needing timeouts pass their own.
+// DefaultTimeout bounds every request of a Client built with a nil
+// *http.Client. A daemon client must never hang forever on a dead or
+// wedged peer — the self-healing loops (heartbeat, auto-pull) depend on
+// failure being a bounded-time outcome.
+const DefaultTimeout = 10 * time.Second
+
+// Client talks to one gsumd daemon. Every request is bounded: a nil
+// http.Client gets DefaultTimeout, and multi-peer operations (PullFrom)
+// additionally carry a per-request deadline so one dead worker costs at
+// most one timeout, not the whole loop.
 type Client struct {
 	base string
 	hc   *http.Client
+	// timeout is the per-request deadline used by the pull loop:
+	// hc.Timeout when set, DefaultTimeout otherwise (so even a caller
+	// supplied timeout-less client cannot hang on one peer).
+	timeout time.Duration
 }
 
 // NewClient returns a client for the daemon at base (e.g.
-// "http://127.0.0.1:7600"). httpClient nil means http.DefaultClient.
+// "http://127.0.0.1:7600"). httpClient nil means a default client with
+// DefaultTimeout; pass your own to tune it.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	t := httpClient.Timeout
+	if t <= 0 {
+		t = DefaultTimeout
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient, timeout: t}
+}
+
+// drainClose consumes the remainder of a response body (bounded) before
+// closing it. An undrained body makes net/http abandon the underlying
+// TCP connection instead of returning it to the keep-alive pool, which
+// on the hot push path would mean a fresh connection per batch.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<16))
+	_ = body.Close()
 }
 
 // decodeError surfaces the daemon's JSON error body.
 func decodeError(resp *http.Response) error {
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	var e struct {
 		Error string `json:"error"`
 	}
@@ -40,25 +69,59 @@ func decodeError(resp *http.Response) error {
 	return fmt.Errorf("daemon: %s", resp.Status)
 }
 
-// Push sends a batch of updates to /v1/ingest.
-func (c *Client) Push(updates []stream.Update) error {
-	req := IngestRequest{Updates: make([][2]int64, len(updates))}
-	for i, u := range updates {
-		req.Updates[i] = [2]int64{int64(u.Item), u.Delta}
+// do issues one request with the given context; callers own the
+// response body.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
-	body, err := json.Marshal(req)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	resp, err := c.hc.Post(c.base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.hc.Do(req)
+}
+
+// postOK posts body and expects a 200, draining the successful response
+// so the connection is reused.
+func (c *Client) postOK(ctx context.Context, path, contentType string, body []byte) error {
+	resp, err := c.do(ctx, http.MethodPost, path, contentType, body)
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
 		return decodeError(resp)
 	}
-	resp.Body.Close()
+	drainClose(resp.Body)
 	return nil
+}
+
+// Push sends a batch of updates to /v1/ingest. Item IDs above
+// math.MaxInt64 are rejected here: the JSON transport carries items as
+// int64, and letting such an ID wrap would silently turn it negative on
+// the wire.
+func (c *Client) Push(updates []stream.Update) error {
+	return c.push(context.Background(), updates)
+}
+
+func (c *Client) push(ctx context.Context, updates []stream.Update) error {
+	req := IngestRequest{Updates: make([][2]int64, len(updates))}
+	for i, u := range updates {
+		if u.Item > math.MaxInt64 {
+			return fmt.Errorf("daemon: update %d: item %d exceeds the JSON transport's int64 range (max %d)",
+				i, u.Item, uint64(math.MaxInt64))
+		}
+		req.Updates[i] = [2]int64{int64(u.Item), u.Delta}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.postOK(ctx, "/v1/ingest", "application/json", body)
 }
 
 // Advance moves a window backend's tick clock to tick via /v1/advance
@@ -69,14 +132,14 @@ func (c *Client) Advance(tick uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.hc.Post(c.base+"/v1/advance", "application/json", bytes.NewReader(body))
+	resp, err := c.do(context.Background(), http.MethodPost, "/v1/advance", "application/json", body)
 	if err != nil {
 		return 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		return 0, decodeError(resp)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	var out struct {
 		Tick uint64 `json:"tick"`
 	}
@@ -88,14 +151,18 @@ func (c *Client) Advance(tick uint64) (uint64, error) {
 
 // Snapshot fetches the daemon's serialized sketch state.
 func (c *Client) Snapshot() ([]byte, error) {
-	resp, err := c.hc.Get(c.base + "/v1/snapshot")
+	return c.snapshot(context.Background())
+}
+
+func (c *Client) snapshot(ctx context.Context) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/snapshot", "", nil)
 	if err != nil {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	// Read one byte past the cap so an oversize snapshot is detected
 	// rather than silently truncated into a corrupt partial payload.
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
@@ -110,34 +177,39 @@ func (c *Client) Snapshot() ([]byte, error) {
 
 // Merge ships a serialized shard sketch to /v1/merge.
 func (c *Client) Merge(snapshot []byte) error {
-	resp, err := c.hc.Post(c.base+"/v1/merge", "application/octet-stream", bytes.NewReader(snapshot))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	resp.Body.Close()
-	return nil
+	return c.merge(context.Background(), snapshot)
+}
+
+func (c *Client) merge(ctx context.Context, snapshot []byte) error {
+	return c.postOK(ctx, "/v1/merge", "application/octet-stream", snapshot)
 }
 
 // CheckSpec posts a Spec fingerprint to the daemon's /v1/config
 // handshake. A nil error means the daemon was built from a Spec with
 // the same fingerprint; a mismatch surfaces the daemon's 409 Conflict.
 func (c *Client) CheckSpec(fingerprint uint64) error {
+	return c.checkSpec(context.Background(), fingerprint)
+}
+
+func (c *Client) checkSpec(ctx context.Context, fingerprint uint64) error {
 	body, err := json.Marshal(CheckRequest{Fingerprint: fingerprint})
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+"/v1/config", "application/json", bytes.NewReader(body))
+	return c.postOK(ctx, "/v1/config", "application/json", body)
+}
+
+// Register announces a worker's base URL to the coordinator this client
+// points at (POST /v1/register). The coordinator's heartbeat loop takes
+// it from there.
+func (c *Client) Register(workerAddr string) error {
+	body, err := json.Marshal(RegisterRequest{Addr: workerAddr})
 	if err != nil {
 		return err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	resp.Body.Close()
-	return nil
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	return c.postOK(ctx, "/v1/register", "application/json", body)
 }
 
 // PullFrom fetches a snapshot from every worker daemon and merges it
@@ -146,23 +218,43 @@ func (c *Client) CheckSpec(fingerprint uint64) error {
 // Spec fingerprint is checked against the coordinator's via the
 // /v1/config handshake: one drifted worker fails the whole pull with a
 // 409 and zero merges, so the coordinator is never left holding a
-// partial aggregation.
+// partial aggregation. Every request carries its own deadline (the
+// client's timeout), so one dead or hung worker fails the pull within
+// that bound — with zero merges, because the handshake phase completes
+// before the first snapshot ships.
 func (c *Client) PullFrom(workers []string) error {
-	info, err := c.Config()
-	if err != nil {
+	bounded := func(f func(ctx context.Context) error) error {
+		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		defer cancel()
+		return f(ctx)
+	}
+	var info ConfigInfo
+	if err := bounded(func(ctx context.Context) (err error) {
+		info, err = c.config(ctx)
+		return err
+	}); err != nil {
 		return fmt.Errorf("coordinator config: %w", err)
 	}
 	for _, w := range workers {
-		if err := NewClient(w, c.hc).CheckSpec(info.Fingerprint); err != nil {
+		wc := NewClient(w, c.hc)
+		if err := bounded(func(ctx context.Context) error {
+			return wc.checkSpec(ctx, info.Fingerprint)
+		}); err != nil {
 			return fmt.Errorf("worker %s: %w", w, err)
 		}
 	}
 	for _, w := range workers {
-		snap, err := NewClient(w, c.hc).Snapshot()
-		if err != nil {
+		wc := NewClient(w, c.hc)
+		var snap []byte
+		if err := bounded(func(ctx context.Context) (err error) {
+			snap, err = wc.snapshot(ctx)
+			return err
+		}); err != nil {
 			return fmt.Errorf("worker %s: %w", w, err)
 		}
-		if err := c.Merge(snap); err != nil {
+		if err := bounded(func(ctx context.Context) error {
+			return c.merge(ctx, snap)
+		}); err != nil {
 			return fmt.Errorf("worker %s: %w", w, err)
 		}
 	}
@@ -172,18 +264,18 @@ func (c *Client) PullFrom(workers []string) error {
 // Estimate queries /v1/estimate with the given parameters and returns
 // the decoded JSON object.
 func (c *Client) Estimate(params url.Values) (map[string]interface{}, error) {
-	u := c.base + "/v1/estimate"
+	u := "/v1/estimate"
 	if enc := params.Encode(); enc != "" {
 		u += "?" + enc
 	}
-	resp, err := c.hc.Get(u)
+	resp, err := c.do(context.Background(), http.MethodGet, u, "", nil)
 	if err != nil {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	var out map[string]interface{}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
 		return nil, err
@@ -194,14 +286,18 @@ func (c *Client) Estimate(params url.Values) (map[string]interface{}, error) {
 // Config fetches the daemon's normalized Spec, its fingerprint, and the
 // ingestion/space counters.
 func (c *Client) Config() (ConfigInfo, error) {
-	resp, err := c.hc.Get(c.base + "/v1/config")
+	return c.config(context.Background())
+}
+
+func (c *Client) config(ctx context.Context) (ConfigInfo, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/config", "", nil)
 	if err != nil {
 		return ConfigInfo{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		return ConfigInfo{}, decodeError(resp)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	var info ConfigInfo
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {
 		return ConfigInfo{}, err

@@ -29,6 +29,10 @@ type Server struct {
 	fp      uint64       // spec.Fingerprint(), served and checked by /v1/config
 	est     backend.Estimator
 	ingests uint64 // total updates absorbed, for /v1/config introspection
+
+	// members is the coordinator-side worker registry (membership.go).
+	// It has its own locking; the loops run only after Membership().Start.
+	members *Membership
 }
 
 // NewServer validates the spec through the registry and builds the
@@ -49,11 +53,30 @@ func NewServer(spec backend.Spec) (*Server, error) {
 		// value. Refuse at construction instead of answering garbage.
 		return nil, fmt.Errorf("daemon: kind %q needs a stream replay between passes, which the HTTP surface cannot drive; use a single-pass kind", n.Kind)
 	}
-	return &Server{spec: n, fp: n.Fingerprint(), est: est}, nil
+	s := &Server{spec: n, fp: n.Fingerprint(), est: est}
+	s.members = newMembership(s)
+	return s, nil
 }
 
 // Spec returns the daemon's normalized Spec.
 func (s *Server) Spec() backend.Spec { return s.spec }
+
+// IngestBatch absorbs a batch in-process, with the same domain
+// validation and counter bookkeeping as /v1/ingest — the loading path
+// for embedders and benchmarks that do not need the HTTP round trip.
+func (s *Server) IngestBatch(batch []stream.Update) error {
+	n := s.spec.Options.N
+	for i, u := range batch {
+		if u.Item >= n {
+			return fmt.Errorf("daemon: update %d: item %d outside domain [0,%d)", i, u.Item, n)
+		}
+	}
+	s.mu.Lock()
+	s.est.UpdateBatch(batch)
+	s.ingests += uint64(len(batch))
+	s.mu.Unlock()
+	return nil
+}
 
 // IngestRequest is the /v1/ingest body: updates as [item, delta] pairs.
 type IngestRequest struct {
@@ -96,7 +119,39 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/merge", s.handleMerge)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/advance", s.handleAdvance)
+	mux.HandleFunc("/v1/register", s.handleRegister)
+	mux.HandleFunc("/v1/members", s.handleMembers)
 	return mux
+}
+
+// handleRegister adds a worker to the membership registry. Registration
+// always succeeds on a well-formed base URL; whether the worker is
+// actually reachable (and Spec-compatible) is the heartbeat loop's job.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad register body: %w", err))
+		return
+	}
+	if err := s.members.Add(req.Addr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "registered", "members": len(s.members.Members())})
+}
+
+// handleMembers serves the membership registry.
+func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"members": s.members.Members()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -153,7 +208,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	n := s.spec.Options.N
 	batch := make([]stream.Update, len(req.Updates))
 	for i, p := range req.Updates {
-		if p[0] < 0 || uint64(p[0]) >= n {
+		if p[0] < 0 {
+			// A negative item is most likely a uint64 ID >= 2^63 that
+			// wrapped the transport's int64; say so instead of reporting a
+			// confusing domain failure (or, for huge domains, silently
+			// misattributing the update to the wrong item).
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("update %d: item %d is negative (item IDs >= 2^63 exceed the JSON transport's int64 range and are rejected, not wrapped)", i, p[0]))
+			return
+		}
+		if uint64(p[0]) >= n {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("update %d: item %d outside domain [0,%d)", i, p[0], n))
 			return

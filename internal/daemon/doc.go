@@ -28,11 +28,30 @@
 //	                   409 Conflict otherwise. Client.PullFrom checks every
 //	                   worker this way BEFORE pulling any snapshot, so a
 //	                   drifted deployment fails with zero merges.
+//	POST /v1/register  JSON {"addr": "http://worker:7601"} — a worker
+//	                   announces itself to the coordinator's membership
+//	                   registry (gsumd -register does this on boot).
+//	GET  /v1/members   the membership table: each worker's address,
+//	                   liveness, consecutive heartbeat misses, and
+//	                   last-seen/last-pull timestamps.
 //	GET  /healthz      liveness.
 //
 // The deployment topology mirrors the cmd/server + cmd/worker split of
 // distributed work-queue systems: workers sit close to the traffic and
 // absorb updates; the coordinator owns the query surface.
+//
+// Durability and self-healing: Server.WriteCheckpoint atomically
+// persists the wire snapshot (temp file + fsync + rename) with the Spec
+// fingerprint in the header, and RestoreCheckpoint refuses a file whose
+// fingerprint differs from the live Spec — the same drift check as the
+// handshake, enforced at a third point. Server.Membership runs the
+// coordinator's heartbeat and auto-pull loops: workers join via
+// /v1/register (or seeding), each heartbeat is a fingerprint handshake
+// (liveness and drift in one probe), a worker is marked down after
+// consecutive misses, and every pull round REBUILDS the aggregate from
+// a fresh estimator plus all retained snapshots, so repeated pulls
+// never double-count and a restarted worker is re-absorbed without
+// operator action.
 //
 // Layer: the service layer of ARCHITECTURE.md — HTTP transport over the
 // backend registry; cmd/gsumd is its thin main. Seed discipline: every

@@ -2,8 +2,10 @@
 // `go test -bench` output, extracts the ns/op of every gated benchmark
 // — the BenchmarkProcess* ingestion family (BenchmarkProcessRegistry
 // included: the registry-dispatch ingest path), the BenchmarkWindow*
-// sliding-window family, and the BenchmarkOpen/BenchmarkSpecFingerprint
-// registry layer, taking the MINIMUM across repeated -count runs, the
+// sliding-window family, the BenchmarkOpen/BenchmarkSpecFingerprint
+// registry layer, and BenchmarkCheckpoint (the daemon's atomic
+// checkpoint write, paid every -checkpoint-every interval by every
+// running gsumd) — taking the MINIMUM across repeated -count runs, the
 // least noisy statistic on shared CI runners — and compares against the
 // committed baseline.
 //
@@ -13,7 +15,7 @@
 // .github/workflows/ci.yml does on every push; benchdiff lives in
 // scripts/, so `go run ./scripts` runs it from the repo root):
 //
-//	go test -run '^$' -bench '^Benchmark(Process|Window|Open|SpecFingerprint)' -benchtime 3x -count 3 . | tee bench.txt
+//	go test -run '^$' -bench '^Benchmark(Process|Window|Open|SpecFingerprint|Checkpoint)' -benchtime 3x -count 3 . | tee bench.txt
 //	go run ./scripts -baseline BENCH_baseline.json -current bench.txt
 //
 // Exit codes: 0 when every gated benchmark is within threshold, 1 on a
@@ -34,7 +36,7 @@
 // BenchmarkProcessWorkload/zipf).
 //
 // -prefix takes a comma-separated list of gated name prefixes (default
-// "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint");
+// "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint");
 // results matching none of them are ignored entirely.
 //
 // Refresh the baseline after an intentional performance change (this
@@ -113,7 +115,7 @@ func run() int {
 	current := flag.String("current", "", "path to `go test -bench` output")
 	baselinePath := flag.String("baseline", "", "path to the committed baseline JSON")
 	write := flag.String("write", "", "write a fresh baseline JSON to this path and exit")
-	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint",
+	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint",
 		"comma-separated benchmark name prefixes to gate")
 	threshold := flag.Float64("threshold", 2.0, "fail when current > threshold * baseline")
 	flag.Parse()
