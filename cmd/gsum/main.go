@@ -19,12 +19,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/url"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -224,6 +226,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 1, "shards for parallel (0 = GOMAXPROCS) / worker daemons for daemon (min 1)")
 	backend := fs.String("backend", "serial", "ingestion backend: "+strings.Join(workload.Backends, ", ")+
 		` ("list" prints the registered backend kinds and exits)`)
+	transport := fs.String("transport", "json", `daemon backend wire transport: "json" (per-batch POSTs) or "stream" (persistent binary frames)`)
 	win := fs.Int("window", 0, "sliding-window mode: estimate only the last W ticks (0 = whole stream)")
 	ticks := fs.Int("ticks", workload.DefaultTicks, "tick span of the generated stream (windowed mode)")
 	windowk := fs.Int("windowk", 0, "histogram buckets per span class: higher = fewer stale ticks, more space (0 = default 2)")
@@ -289,6 +292,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		Opts:      universal.Options{M: 1 << 10, Eps: *eps, Seed: *seed * 7, Lambda: 1.0 / 16},
 		Backend:   *backend,
 		Workers:   *workers,
+		Transport: *transport,
 		Window:    *win,
 		WindowK:   *windowk,
 	})
@@ -307,8 +311,12 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "window: last %d of %d ticks (clock at %d, %d stale tick(s) included)\n",
 			res.Window, *ticks, res.LastTick, res.StaleTicks)
 	}
+	backendLabel := res.Backend
+	if res.Transport != "" {
+		backendLabel += "/" + res.Transport
+	}
 	fmt.Fprintf(stdout, "backend %s (%d worker(s)): %.0f updates/s (%v)\n",
-		res.Backend, res.Workers, res.UpdatesPerSec, res.Elapsed.Round(time.Millisecond))
+		backendLabel, res.Workers, res.UpdatesPerSec, res.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "g = %s\n", g.Name())
 	fmt.Fprintf(stdout, "exact    %.6g\n", res.Exact)
 	fmt.Fprintf(stdout, "estimate %.6g  relative error %.4f  (%d sketch bytes)\n",
@@ -347,7 +355,10 @@ func runExperiments(args []string, stdout, stderr io.Writer) int {
 // contiguous shard of it to a gsumd daemon — the worker half of the
 // two-terminal walkthrough in the README. Every worker in a deployment
 // runs the same command with a different -shard index; together they
-// cover the stream exactly once.
+// cover the stream exactly once. All pushing goes through the async
+// daemon.Pusher (bounded queue, batched frames); -stream switches the
+// transport from JSON POSTs to the persistent binary stream, where
+// every batch is individually acknowledged after the daemon applies it.
 func runPush(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("push", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -359,7 +370,8 @@ func runPush(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "stream seed (same on every worker)")
 	shard := fs.Int("shard", 0, "this worker's shard index")
 	of := fs.Int("of", 1, "total number of shards")
-	batch := fs.Int("batch", engine.DefaultBatchSize, "updates per HTTP request")
+	batch := fs.Int("batch", engine.DefaultBatchSize, "updates per request/frame")
+	useStream := fs.Bool("stream", false, "push over the persistent binary stream (/v1/stream) instead of JSON POSTs")
 	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
 		return code
 	}
@@ -377,19 +389,30 @@ func runPush(args []string, stdout, stderr io.Writer) int {
 	lo, hi := engine.Cut(len(updates), *of, *shard)
 	chunk := updates[lo:hi]
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	c := daemon.NewClient(*addr, nil)
-	for b := 0; b < len(chunk); b += *batch {
-		e := b + *batch
-		if e > len(chunk) {
-			e = len(chunk)
-		}
-		if err := c.Push(chunk[b:e]); err != nil {
-			fmt.Fprintf(stderr, "gsum push: %v\n", err)
-			return 1
-		}
+	p, err := c.NewPusher(ctx, daemon.PusherConfig{Stream: *useStream, MaxBatch: *batch})
+	if err != nil {
+		fmt.Fprintf(stderr, "gsum push: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(stdout, "pushed %d updates (shard %d/%d of a %d-update stream) to %s\n",
-		len(chunk), *shard, *of, len(updates), *addr)
+	pushErr := p.Push(chunk)
+	if err := p.Close(); err != nil {
+		fmt.Fprintf(stderr, "gsum push: %v\n", err)
+		return 1
+	}
+	if pushErr != nil {
+		fmt.Fprintf(stderr, "gsum push: %v\n", pushErr)
+		return 1
+	}
+	st := p.Stats()
+	transport := "json"
+	if *useStream {
+		transport = "stream"
+	}
+	fmt.Fprintf(stdout, "pushed %d updates in %d %s batch(es) (shard %d/%d of a %d-update stream) to %s\n",
+		st.Acked, st.Frames, transport, *shard, *of, len(updates), *addr)
 	return 0
 }
 
@@ -407,10 +430,12 @@ func runQuery(args []string, stdout, stderr io.Writer) int {
 		return code
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	c := daemon.NewClient(*addr, nil)
 	if *pull != "" {
 		workers := strings.Split(*pull, ",")
-		if err := c.PullFrom(workers); err != nil {
+		if err := c.PullFromContext(ctx, workers); err != nil {
 			fmt.Fprintf(stderr, "gsum query: %v\n", err)
 			return 1
 		}
@@ -427,7 +452,7 @@ func runQuery(args []string, stdout, stderr io.Writer) int {
 		}
 		params.Set("item", *item)
 	}
-	resp, err := c.Estimate(params)
+	resp, err := c.EstimateContext(ctx, params)
 	if err != nil {
 		fmt.Fprintf(stderr, "gsum query: %v\n", err)
 		return 1

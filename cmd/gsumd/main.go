@@ -123,6 +123,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	pullEvery := fs.Duration("pull-every", 0, "snapshot auto-pull cadence for the coordinator loops (0 = 10s)")
 	register := fs.String("register", "", "coordinator base URL to announce this worker to on startup (POST /v1/register)")
 	advertise := fs.String("advertise", "", "base URL this worker is reachable at, for -register (default http://<listen addr>)")
+	streamMaxFrame := fs.Int("stream-max-frame", 0, "max /v1/stream frame payload in bytes (0 = 8 MiB)")
+	streamIdle := fs.Duration("stream-idle", 0, "close a /v1/stream connection after this long without a frame (0 = 2m)")
 	if code, ok := cliflag.Parse(fs, argv, stderr); !ok {
 		return code
 	}
@@ -166,6 +168,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	srv.SetStreamLimits(*streamMaxFrame, *streamIdle)
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)
@@ -176,6 +180,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gsumd: "+format+"\n", args...)
 	}
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *register != "" {
 		self := *advertise
 		if self == "" {
@@ -185,7 +192,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		// is a warning, not a fatal error — the operator (or a restart)
 		// can re-register, and -pull-from on the coordinator side works
 		// without any registration at all.
-		if err := daemon.NewClient(*register, nil).Register(self); err != nil {
+		if err := daemon.NewClient(*register, nil).RegisterContext(ctx, self); err != nil {
 			logf("register at %s: %v (continuing unregistered)", *register, err)
 		} else {
 			fmt.Fprintf(stdout, "gsumd: registered %s at coordinator %s\n", self, *register)
@@ -216,8 +223,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// The daemon serves through an http.Server with bounded read/write
 	// windows (a wedged peer cannot pin a handler goroutine forever) and
 	// drains gracefully on SIGINT/SIGTERM: stop accepting, let in-flight
-	// requests finish (up to drainTimeout), then write the final
-	// checkpoint so an orderly restart loses nothing.
+	// requests AND hijacked /v1/stream connections finish (up to
+	// drainTimeout each), then write the final checkpoint so an orderly
+	// restart loses nothing a client holds an ack for.
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -225,8 +233,6 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
 	go func() {
 		<-ctx.Done()
 		shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
@@ -244,6 +250,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gsumd: %v\n", err)
 		code = 1
 	}
+	// Hijacked /v1/stream connections are invisible to
+	// httpSrv.Shutdown; drain them here — every frame acked by the loop
+	// lands before the final checkpoint below, so an ack really is a
+	// durability receipt.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	if derr := srv.DrainStreams(drainCtx); derr != nil {
+		fmt.Fprintf(stderr, "gsumd: stream drain: %v\n", derr)
+	}
+	cancelDrain()
 	srv.Membership().Stop()
 	if ckpt != nil {
 		if cerr := ckpt.Stop(); cerr != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"net/http"
 	"os"
@@ -14,7 +15,9 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/stream"
 )
 
 // syncBuffer lets the test read run()'s output while run() is still
@@ -187,8 +190,8 @@ func TestGracefulShutdownWritesCheckpointAndRestores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if after["estimate"] != before["estimate"] {
-		t.Errorf("estimate after restart %v != before shutdown %v", after["estimate"], before["estimate"])
+	if *after.Estimate != *before.Estimate {
+		t.Errorf("estimate after restart %v != before shutdown %v", *after.Estimate, *before.Estimate)
 	}
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
 		t.Fatal(err)
@@ -197,6 +200,117 @@ func TestGracefulShutdownWritesCheckpointAndRestores(t *testing.T) {
 	case <-done2:
 	case <-time.After(15 * time.Second):
 		t.Fatal("second run did not drain after SIGINT")
+	}
+}
+
+// TestStreamDrainDurability is the kill-and-restart e2e for the binary
+// streaming path: a Pusher streams frames at a live gsumd while SIGTERM
+// lands mid-session. The contract under test is the ack receipt — every
+// update the client holds an ack for must be inside the final
+// checkpoint, and nothing may be applied twice. Both directions are
+// proven at once by redelivering the unacked suffix to the restarted
+// daemon and requiring the estimate to equal a serial estimator fed the
+// identical updates: a lost acked frame or a double-applied unacked one
+// would each break the equality.
+func TestStreamDrainDurability(t *testing.T) {
+	stateDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-backend", "onepass", "-f", "x^2",
+		"-n", "65536", "-seed", "7", "-state-dir", stateDir, "-checkpoint-every", "1h"}
+
+	// A synthetic in-domain stream long enough that SIGTERM lands while
+	// frames are still in flight. The working set stays far below the
+	// candidate trackers' capacity — the regime in which estimates are
+	// independent of batch boundaries, so serial-vs-daemon equality is
+	// exact (see internal/core/parallel.go).
+	const total = 60000
+	updates := make([]stream.Update, total)
+	for i := range updates {
+		updates[i] = stream.Update{Item: uint64(i*2654435761) % 64, Delta: int64(i%7) - 3}
+	}
+
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run(args, &out, &errb) }()
+	addr := listenAddrOf(t, &out)
+
+	c := daemon.NewClient("http://"+addr, nil)
+	p, err := c.NewPusher(context.Background(), daemon.PusherConfig{
+		Stream: true, MaxBatch: 64, MaxBuffered: 64, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushDone := make(chan error, 1)
+	go func() { pushDone <- p.Push(updates) }()
+
+	// Let some frames land, then pull the rug.
+	for p.Stats().Acked == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d, stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after SIGTERM")
+	}
+	<-pushDone
+	_ = p.Close()
+	st := p.Stats()
+	if st.Acked == 0 {
+		t.Fatal("no frames acked before the drain")
+	}
+	if st.Total != st.Acked {
+		t.Fatalf("daemon counter %d != acked updates %d: acks are not aligned with applies", st.Total, st.Acked)
+	}
+	t.Logf("drain cut the session at %d/%d acked updates (%d frames)", st.Acked, total, st.Frames)
+
+	// Restart from the checkpoint and redeliver exactly the unacked
+	// suffix — what a real worker would do with its ack cursor.
+	var out2, errb2 syncBuffer
+	done2 := make(chan int, 1)
+	go func() { done2 <- run(args, &out2, &errb2) }()
+	addr2 := listenAddrOf(t, &out2)
+	if !strings.Contains(out2.String(), "restored checkpoint") {
+		t.Fatalf("restart did not restore the checkpoint:\n%s", out2.String())
+	}
+	c2 := daemon.NewClient("http://"+addr2, nil)
+	p2, err := c2.NewPusher(context.Background(), daemon.PusherConfig{Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Push(updates[st.Acked:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := backend.Open(backend.Spec{Kind: backend.KindOnePass, G: "x^2",
+		Options: core.Options{N: 65536, M: 1 << 10, Eps: 0.25, Delta: 0.2, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.UpdateBatch(updates)
+	if *got.Estimate != serial.Estimate() {
+		t.Fatalf("estimate after drain+restart+redelivery %v != serial %v (acked frames lost or double-applied)",
+			*got.Estimate, serial.Estimate())
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done2:
+	case <-time.After(15 * time.Second):
+		t.Fatal("second run did not drain after SIGTERM")
 	}
 }
 

@@ -56,8 +56,8 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["estimate"] != want["estimate"] {
-		t.Errorf("restored estimate %v != original %v", got["estimate"], want["estimate"])
+	if *got.Estimate != *want.Estimate {
+		t.Errorf("restored estimate %v != original %v", *got.Estimate, *want.Estimate)
 	}
 	info, err := NewClient(ts2.URL, nil).Config()
 	if err != nil {
@@ -76,8 +76,8 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got2["estimate"] != want["estimate"] {
-		t.Errorf("second restore changed the estimate: %v != %v", got2["estimate"], want["estimate"])
+	if *got2.Estimate != *want.Estimate {
+		t.Errorf("second restore changed the estimate: %v != %v", *got2.Estimate, *want.Estimate)
 	}
 }
 
@@ -288,7 +288,7 @@ func TestKillAndRestartE2E(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est := got["estimate"].(float64); est != serial.Estimate() {
+	if est := *got.Estimate; est != serial.Estimate() {
 		t.Errorf("post-crash merged estimate %.17g != serial %.17g", est, serial.Estimate())
 	}
 }

@@ -21,10 +21,14 @@ import (
 // failure being a bounded-time outcome.
 const DefaultTimeout = 10 * time.Second
 
-// Client talks to one gsumd daemon. Every request is bounded: a nil
-// http.Client gets DefaultTimeout, and multi-peer operations (PullFrom)
-// additionally carry a per-request deadline so one dead worker costs at
-// most one timeout, not the whole loop.
+// Client talks to one gsumd daemon. context.Context is first-class:
+// every verb has a ctx-first XxxContext form (cancel a push mid-flight,
+// bound a pull round, tie the whole CLI to SIGINT), and the short names
+// are thin Background shims for callers that don't need one. Every
+// request is additionally bounded: a nil http.Client gets
+// DefaultTimeout, and multi-peer operations (PullFromContext) carry a
+// per-request deadline so one dead worker costs at most one timeout,
+// not the whole loop.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -47,6 +51,9 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient, timeout: t}
 }
+
+// Base returns the daemon base URL this client points at.
+func (c *Client) Base() string { return c.base }
 
 // drainClose consumes the remainder of a response body (bounded) before
 // closing it. An undrained body makes net/http abandon the underlying
@@ -100,15 +107,14 @@ func (c *Client) postOK(ctx context.Context, path, contentType string, body []by
 	return nil
 }
 
-// Push sends a batch of updates to /v1/ingest. Item IDs above
-// math.MaxInt64 are rejected here: the JSON transport carries items as
-// int64, and letting such an ID wrap would silently turn it negative on
-// the wire.
-func (c *Client) Push(updates []stream.Update) error {
-	return c.push(context.Background(), updates)
-}
-
-func (c *Client) push(ctx context.Context, updates []stream.Update) error {
+// PushContext sends a batch of updates to /v1/ingest as one JSON
+// request. Item IDs above math.MaxInt64 are rejected here: the JSON
+// transport carries items as int64, and letting such an ID wrap would
+// silently turn it negative on the wire. For sustained traffic prefer a
+// Pusher (batching + bounded queue) over calling this in a loop, and
+// the binary stream transport (NewPusher with PusherConfig.Stream) over
+// JSON.
+func (c *Client) PushContext(ctx context.Context, updates []stream.Update) error {
 	req := IngestRequest{Updates: make([][2]int64, len(updates))}
 	for i, u := range updates {
 		if u.Item > math.MaxInt64 {
@@ -124,15 +130,20 @@ func (c *Client) push(ctx context.Context, updates []stream.Update) error {
 	return c.postOK(ctx, "/v1/ingest", "application/json", body)
 }
 
-// Advance moves a window backend's tick clock to tick via /v1/advance
-// and returns the daemon's resulting clock (past ticks are a no-op, so
-// the returned clock may be ahead of the argument).
-func (c *Client) Advance(tick uint64) (uint64, error) {
+// Push is PushContext with a background context.
+func (c *Client) Push(updates []stream.Update) error {
+	return c.PushContext(context.Background(), updates)
+}
+
+// AdvanceContext moves a window backend's tick clock to tick via
+// /v1/advance and returns the daemon's resulting clock (past ticks are
+// a no-op, so the returned clock may be ahead of the argument).
+func (c *Client) AdvanceContext(ctx context.Context, tick uint64) (uint64, error) {
 	body, err := json.Marshal(AdvanceRequest{Tick: tick})
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.do(context.Background(), http.MethodPost, "/v1/advance", "application/json", body)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/advance", "application/json", body)
 	if err != nil {
 		return 0, err
 	}
@@ -149,12 +160,13 @@ func (c *Client) Advance(tick uint64) (uint64, error) {
 	return out.Tick, nil
 }
 
-// Snapshot fetches the daemon's serialized sketch state.
-func (c *Client) Snapshot() ([]byte, error) {
-	return c.snapshot(context.Background())
+// Advance is AdvanceContext with a background context.
+func (c *Client) Advance(tick uint64) (uint64, error) {
+	return c.AdvanceContext(context.Background(), tick)
 }
 
-func (c *Client) snapshot(ctx context.Context) ([]byte, error) {
+// SnapshotContext fetches the daemon's serialized sketch state.
+func (c *Client) SnapshotContext(ctx context.Context) ([]byte, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/snapshot", "", nil)
 	if err != nil {
 		return nil, err
@@ -175,23 +187,25 @@ func (c *Client) snapshot(ctx context.Context) ([]byte, error) {
 	return data, nil
 }
 
-// Merge ships a serialized shard sketch to /v1/merge.
-func (c *Client) Merge(snapshot []byte) error {
-	return c.merge(context.Background(), snapshot)
+// Snapshot is SnapshotContext with a background context.
+func (c *Client) Snapshot() ([]byte, error) {
+	return c.SnapshotContext(context.Background())
 }
 
-func (c *Client) merge(ctx context.Context, snapshot []byte) error {
+// MergeContext ships a serialized shard sketch to /v1/merge.
+func (c *Client) MergeContext(ctx context.Context, snapshot []byte) error {
 	return c.postOK(ctx, "/v1/merge", "application/octet-stream", snapshot)
 }
 
-// CheckSpec posts a Spec fingerprint to the daemon's /v1/config
-// handshake. A nil error means the daemon was built from a Spec with
-// the same fingerprint; a mismatch surfaces the daemon's 409 Conflict.
-func (c *Client) CheckSpec(fingerprint uint64) error {
-	return c.checkSpec(context.Background(), fingerprint)
+// Merge is MergeContext with a background context.
+func (c *Client) Merge(snapshot []byte) error {
+	return c.MergeContext(context.Background(), snapshot)
 }
 
-func (c *Client) checkSpec(ctx context.Context, fingerprint uint64) error {
+// CheckSpecContext posts a Spec fingerprint to the daemon's /v1/config
+// handshake. A nil error means the daemon was built from a Spec with
+// the same fingerprint; a mismatch surfaces the daemon's 409 Conflict.
+func (c *Client) CheckSpecContext(ctx context.Context, fingerprint uint64) error {
 	body, err := json.Marshal(CheckRequest{Fingerprint: fingerprint})
 	if err != nil {
 		return err
@@ -199,38 +213,49 @@ func (c *Client) checkSpec(ctx context.Context, fingerprint uint64) error {
 	return c.postOK(ctx, "/v1/config", "application/json", body)
 }
 
-// Register announces a worker's base URL to the coordinator this client
-// points at (POST /v1/register). The coordinator's heartbeat loop takes
-// it from there.
-func (c *Client) Register(workerAddr string) error {
+// CheckSpec is CheckSpecContext with a background context.
+func (c *Client) CheckSpec(fingerprint uint64) error {
+	return c.CheckSpecContext(context.Background(), fingerprint)
+}
+
+// RegisterContext announces a worker's base URL to the coordinator this
+// client points at (POST /v1/register). The coordinator's heartbeat
+// loop takes it from there. The request carries the client's timeout on
+// top of ctx.
+func (c *Client) RegisterContext(ctx context.Context, workerAddr string) error {
 	body, err := json.Marshal(RegisterRequest{Addr: workerAddr})
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	return c.postOK(ctx, "/v1/register", "application/json", body)
 }
 
-// PullFrom fetches a snapshot from every worker daemon and merges it
-// into the daemon this client points at — the coordinator side of the
-// scatter-gather aggregation. Before any snapshot moves, every worker's
-// Spec fingerprint is checked against the coordinator's via the
-// /v1/config handshake: one drifted worker fails the whole pull with a
-// 409 and zero merges, so the coordinator is never left holding a
-// partial aggregation. Every request carries its own deadline (the
-// client's timeout), so one dead or hung worker fails the pull within
-// that bound — with zero merges, because the handshake phase completes
-// before the first snapshot ships.
-func (c *Client) PullFrom(workers []string) error {
+// Register is RegisterContext with a background context.
+func (c *Client) Register(workerAddr string) error {
+	return c.RegisterContext(context.Background(), workerAddr)
+}
+
+// PullFromContext fetches a snapshot from every worker daemon and
+// merges it into the daemon this client points at — the coordinator
+// side of the scatter-gather aggregation. Before any snapshot moves,
+// every worker's Spec fingerprint is checked against the coordinator's
+// via the /v1/config handshake: one drifted worker fails the whole pull
+// with a 409 and zero merges, so the coordinator is never left holding
+// a partial aggregation. Every request carries its own deadline (the
+// client's timeout, under ctx), so one dead or hung worker fails the
+// pull within that bound — with zero merges, because the handshake
+// phase completes before the first snapshot ships.
+func (c *Client) PullFromContext(ctx context.Context, workers []string) error {
 	bounded := func(f func(ctx context.Context) error) error {
-		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		ctx, cancel := context.WithTimeout(ctx, c.timeout)
 		defer cancel()
 		return f(ctx)
 	}
 	var info ConfigInfo
 	if err := bounded(func(ctx context.Context) (err error) {
-		info, err = c.config(ctx)
+		info, err = c.ConfigContext(ctx)
 		return err
 	}); err != nil {
 		return fmt.Errorf("coordinator config: %w", err)
@@ -238,7 +263,7 @@ func (c *Client) PullFrom(workers []string) error {
 	for _, w := range workers {
 		wc := NewClient(w, c.hc)
 		if err := bounded(func(ctx context.Context) error {
-			return wc.checkSpec(ctx, info.Fingerprint)
+			return wc.CheckSpecContext(ctx, info.Fingerprint)
 		}); err != nil {
 			return fmt.Errorf("worker %s: %w", w, err)
 		}
@@ -247,13 +272,13 @@ func (c *Client) PullFrom(workers []string) error {
 		wc := NewClient(w, c.hc)
 		var snap []byte
 		if err := bounded(func(ctx context.Context) (err error) {
-			snap, err = wc.snapshot(ctx)
+			snap, err = wc.SnapshotContext(ctx)
 			return err
 		}); err != nil {
 			return fmt.Errorf("worker %s: %w", w, err)
 		}
 		if err := bounded(func(ctx context.Context) error {
-			return c.merge(ctx, snap)
+			return c.MergeContext(ctx, snap)
 		}); err != nil {
 			return fmt.Errorf("worker %s: %w", w, err)
 		}
@@ -261,35 +286,42 @@ func (c *Client) PullFrom(workers []string) error {
 	return nil
 }
 
-// Estimate queries /v1/estimate with the given parameters and returns
-// the decoded JSON object.
-func (c *Client) Estimate(params url.Values) (map[string]interface{}, error) {
+// PullFrom is PullFromContext with a background context.
+func (c *Client) PullFrom(workers []string) error {
+	return c.PullFromContext(context.Background(), workers)
+}
+
+// EstimateContext queries /v1/estimate with the given parameters and
+// returns the decoded, typed result. Which fields are set depends on
+// the daemon kind's capabilities — see EstimateResult.
+func (c *Client) EstimateContext(ctx context.Context, params url.Values) (EstimateResult, error) {
 	u := "/v1/estimate"
 	if enc := params.Encode(); enc != "" {
 		u += "?" + enc
 	}
-	resp, err := c.do(context.Background(), http.MethodGet, u, "", nil)
+	resp, err := c.do(ctx, http.MethodGet, u, "", nil)
 	if err != nil {
-		return nil, err
+		return EstimateResult{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
+		return EstimateResult{}, decodeError(resp)
 	}
 	defer drainClose(resp.Body)
-	var out map[string]interface{}
+	var out EstimateResult
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
-		return nil, err
+		return EstimateResult{}, err
 	}
 	return out, nil
 }
 
-// Config fetches the daemon's normalized Spec, its fingerprint, and the
-// ingestion/space counters.
-func (c *Client) Config() (ConfigInfo, error) {
-	return c.config(context.Background())
+// Estimate is EstimateContext with a background context.
+func (c *Client) Estimate(params url.Values) (EstimateResult, error) {
+	return c.EstimateContext(context.Background(), params)
 }
 
-func (c *Client) config(ctx context.Context) (ConfigInfo, error) {
+// ConfigContext fetches the daemon's normalized Spec, its fingerprint,
+// and the ingestion/space counters.
+func (c *Client) ConfigContext(ctx context.Context) (ConfigInfo, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/config", "", nil)
 	if err != nil {
 		return ConfigInfo{}, err
@@ -303,4 +335,9 @@ func (c *Client) config(ctx context.Context) (ConfigInfo, error) {
 		return ConfigInfo{}, err
 	}
 	return info, nil
+}
+
+// Config is ConfigContext with a background context.
+func (c *Client) Config() (ConfigInfo, error) {
+	return c.ConfigContext(context.Background())
 }

@@ -122,9 +122,9 @@ func TestPullFromDeadWorkerFailsFastWithZeroMerges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Ingested != 0 || got["estimate"].(float64) != 0 {
+	if info.Ingested != 0 || *got.Estimate != 0 {
 		t.Errorf("coordinator merged despite the dead worker: ingested=%d estimate=%v",
-			info.Ingested, got["estimate"])
+			info.Ingested, *got.Estimate)
 	}
 }
 
@@ -175,7 +175,7 @@ func TestPushReusesConnections(t *testing.T) {
 		GotConn: func(info httptrace.GotConnInfo) { reused = info.Reused },
 	})
 	for i := 0; i < 3; i++ {
-		if err := c.push(ctx, batch); err != nil {
+		if err := c.PushContext(ctx, batch); err != nil {
 			t.Fatal(err)
 		}
 		if i > 0 && !reused {
@@ -184,10 +184,10 @@ func TestPushReusesConnections(t *testing.T) {
 	}
 
 	// The non-200 path must reuse too: decodeError also drains.
-	if err := c.push(ctx, []stream.Update{{Item: 1 << 40, Delta: 1}}); err == nil {
+	if err := c.PushContext(ctx, []stream.Update{{Item: 1 << 40, Delta: 1}}); err == nil {
 		t.Fatal("out-of-domain push succeeded")
 	}
-	if err := c.push(ctx, batch); err != nil {
+	if err := c.PushContext(ctx, batch); err != nil {
 		t.Fatal(err)
 	}
 	if !reused {
@@ -235,7 +235,7 @@ func TestPushRejectsItemsBeyondInt64(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["f2"].(float64) == 0 {
+	if *got.F2 == 0 {
 		t.Error("boundary item did not land in the sketch")
 	}
 

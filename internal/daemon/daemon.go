@@ -33,6 +33,10 @@ type Server struct {
 	// members is the coordinator-side worker registry (membership.go).
 	// It has its own locking; the loops run only after Membership().Start.
 	members *Membership
+
+	// streams tracks live /v1/stream connections (stream.go). It has its
+	// own locking; DrainStreams winds them down at shutdown.
+	streams streamState
 }
 
 // NewServer validates the spec through the registry and builds the
@@ -107,6 +111,54 @@ type AdvanceRequest struct {
 	Tick uint64 `json:"tick"`
 }
 
+// CoverEntry is one (item, frequency, weight) triple of a heavy-hitter
+// cover, as served by /v1/estimate for CoverReporter kinds.
+type CoverEntry struct {
+	Item   uint64  `json:"item"`
+	Freq   int64   `json:"freq"`
+	Weight float64 `json:"weight"`
+}
+
+// EstimateResult is the typed /v1/estimate payload, shared by the
+// server's encoder and Client.Estimate's decoder so neither side pokes
+// at untyped JSON. Which fields are non-nil depends on the daemon
+// kind's capabilities and the query:
+//
+//   - Estimate: the g-SUM (or windowed) estimate; nil only for cover
+//     and bare-f2 responses.
+//   - G: the catalog function the estimate is for (universal kinds).
+//   - Item: echoed back for ?item= point queries, with the per-item
+//     frequency estimate in Estimate.
+//   - F2: a countsketch daemon's second-moment estimate when no ?item=
+//     was given.
+//   - Tick / Window / StaleTicks: the window kind's clock, window
+//     length, and realized staleness.
+//   - Cover / WeightSum: a heavy kind's cover entries and their total
+//     weight.
+type EstimateResult struct {
+	Estimate   *float64     `json:"estimate,omitempty"`
+	G          string       `json:"g,omitempty"`
+	Item       *uint64      `json:"item,omitempty"`
+	F2         *float64     `json:"f2,omitempty"`
+	Tick       *uint64      `json:"tick,omitempty"`
+	Window     *uint64      `json:"window,omitempty"`
+	StaleTicks *uint64      `json:"stale_ticks,omitempty"`
+	Cover      []CoverEntry `json:"cover,omitempty"`
+	WeightSum  *float64     `json:"weight_sum,omitempty"`
+}
+
+// Value returns the scalar estimate and whether one is present (false
+// for cover responses and bare-f2 countsketch responses).
+func (r EstimateResult) Value() (float64, bool) {
+	if r.Estimate == nil {
+		return 0, false
+	}
+	return *r.Estimate, true
+}
+
+func f64p(v float64) *float64 { return &v }
+func u64p(v uint64) *uint64   { return &v }
+
 // Handler returns the daemon's HTTP surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -115,6 +167,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/config", s.handleConfig)
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/merge", s.handleMerge)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
@@ -324,53 +377,53 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) estimate(q url.Values) (interface{}, error) {
+func (s *Server) estimate(q url.Values) (EstimateResult, error) {
 	if it := q.Get("item"); it != "" {
 		pq, ok := s.est.(backend.PointQuerier)
 		if !ok {
-			return nil, fmt.Errorf("kind %q does not answer per-item point queries", s.spec.Kind)
+			return EstimateResult{}, fmt.Errorf("kind %q does not answer per-item point queries", s.spec.Kind)
 		}
 		item, err := strconv.ParseUint(it, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad item %q: %w", it, err)
+			return EstimateResult{}, fmt.Errorf("bad item %q: %w", it, err)
 		}
-		return map[string]interface{}{"item": item, "estimate": pq.EstimateItem(item)}, nil
+		return EstimateResult{Item: u64p(item), Estimate: f64p(float64(pq.EstimateItem(item)))}, nil
 	}
 	if name := q.Get("g"); name != "" {
 		fq, ok := s.est.(backend.FuncQuerier)
 		if !ok {
-			return nil, fmt.Errorf("kind %q was built for a fixed function and does not answer post-hoc ?g= queries", s.spec.Kind)
+			return EstimateResult{}, fmt.Errorf("kind %q was built for a fixed function and does not answer post-hoc ?g= queries", s.spec.Kind)
 		}
 		g, err := backend.CatalogFunc(name)
 		if err != nil {
-			return nil, err
+			return EstimateResult{}, err
 		}
-		return map[string]interface{}{"g": name, "estimate": fq.EstimateFor(g)}, nil
+		return EstimateResult{G: name, Estimate: f64p(fq.EstimateFor(g))}, nil
 	}
 	switch e := s.est.(type) {
 	case backend.CoverReporter:
 		cover := e.Cover()
-		entries := make([]map[string]interface{}, len(cover))
+		entries := make([]CoverEntry, len(cover))
 		for i, c := range cover {
-			entries[i] = map[string]interface{}{"item": c.Item, "freq": c.Freq, "weight": c.Weight}
+			entries[i] = CoverEntry{Item: c.Item, Freq: c.Freq, Weight: c.Weight}
 		}
-		return map[string]interface{}{"cover": entries, "weight_sum": cover.WeightSum()}, nil
+		return EstimateResult{Cover: entries, WeightSum: f64p(cover.WeightSum())}, nil
 	case backend.FuncQuerier:
 		if s.spec.G == "" {
 			_, err := backend.CatalogFunc("")
-			return nil, fmt.Errorf("kind %q needs ?g=<name> (or a Spec.G default): %w", s.spec.Kind, err)
+			return EstimateResult{}, fmt.Errorf("kind %q needs ?g=<name> (or a Spec.G default): %w", s.spec.Kind, err)
 		}
-		return map[string]interface{}{"g": s.spec.G, "estimate": s.est.Estimate()}, nil
+		return EstimateResult{G: s.spec.G, Estimate: f64p(s.est.Estimate())}, nil
 	case backend.PointQuerier:
-		return map[string]interface{}{"f2": e.EstimateF2()}, nil
+		return EstimateResult{F2: f64p(e.EstimateF2())}, nil
 	case backend.Windowed:
-		return map[string]interface{}{
-			"estimate":    s.est.Estimate(),
-			"tick":        e.Now(),
-			"window":      e.Config().W,
-			"stale_ticks": e.Stale(),
+		return EstimateResult{
+			Estimate:   f64p(s.est.Estimate()),
+			Tick:       u64p(e.Now()),
+			Window:     u64p(e.Config().W),
+			StaleTicks: u64p(e.Stale()),
 		}, nil
 	default:
-		return map[string]interface{}{"estimate": s.est.Estimate()}, nil
+		return EstimateResult{Estimate: f64p(s.est.Estimate())}, nil
 	}
 }

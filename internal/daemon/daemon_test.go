@@ -80,7 +80,7 @@ func TestE2ECountSketchBackend(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if est := int64(got["estimate"].(float64)); est != serial.EstimateItem(item) {
+		if est := int64(*got.Estimate); est != serial.EstimateItem(item) {
 			t.Errorf("item %d: daemon estimate %d != serial %d", item, est, serial.EstimateItem(item))
 		}
 	}
@@ -88,7 +88,7 @@ func TestE2ECountSketchBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f2 := got["f2"].(float64); f2 != serial.EstimateF2() {
+	if f2 := *got.F2; f2 != serial.EstimateF2() {
 		t.Errorf("daemon F2 %.17g != serial %.17g", f2, serial.EstimateF2())
 	}
 }
@@ -105,17 +105,16 @@ func TestE2EHeavyBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ws := got["weight_sum"].(float64); ws != want.WeightSum() {
+	if ws := *got.WeightSum; ws != want.WeightSum() {
 		t.Errorf("daemon cover weight sum %.17g != serial %.17g", ws, want.WeightSum())
 	}
-	entries := got["cover"].([]interface{})
+	entries := got.Cover
 	if len(entries) != len(want) {
 		t.Fatalf("daemon cover has %d entries, serial %d", len(entries), len(want))
 	}
 	for i, e := range entries {
-		m := e.(map[string]interface{})
-		if it := uint64(m["item"].(float64)); it != want[i].Item {
-			t.Errorf("cover[%d] item %d, want %d", i, it, want[i].Item)
+		if e.Item != want[i].Item {
+			t.Errorf("cover[%d] item %d, want %d", i, e.Item, want[i].Item)
 		}
 	}
 }
@@ -131,7 +130,7 @@ func TestE2ERecursiveOnePassBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est := got["estimate"].(float64); est != serial.Estimate() {
+	if est := *got.Estimate; est != serial.Estimate() {
 		t.Errorf("daemon g-SUM estimate %.17g != serial %.17g", est, serial.Estimate())
 	}
 }
@@ -154,7 +153,7 @@ func TestE2EUniversalBackendPostHocQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if est := got["estimate"].(float64); est != serial.EstimateFor(g) {
+		if est := *got.Estimate; est != serial.EstimateFor(g) {
 			t.Errorf("%s: daemon estimate %.17g != serial %.17g", name, est, serial.EstimateFor(g))
 		}
 	}
@@ -238,9 +237,9 @@ func TestPullFromRejectsSpecMismatchBeforeMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Ingested != 0 || got["estimate"].(float64) != 0 {
+	if info.Ingested != 0 || *got.Estimate != 0 {
 		t.Errorf("coordinator state changed despite failed handshake: ingested=%d estimate=%v",
-			info.Ingested, got["estimate"])
+			info.Ingested, *got.Estimate)
 	}
 
 	// Direct handshake checks: matching fingerprint 200, drifted 409.
@@ -388,13 +387,13 @@ func TestE2EWindowBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := resp["estimate"].(float64); got != est.Estimate() {
+	if got := *resp.Estimate; got != est.Estimate() {
 		t.Fatalf("daemon windowed estimate %v != single-process %v", got, est.Estimate())
 	}
-	if tick := resp["tick"].(float64); uint64(tick) != ref.Now() {
+	if tick := *resp.Tick; tick != ref.Now() {
 		t.Fatalf("daemon clock %v != %d", tick, ref.Now())
 	}
-	if stale := resp["stale_ticks"].(float64); uint64(stale) != ref.Stale() {
+	if stale := *resp.StaleTicks; stale != ref.Stale() {
 		t.Fatalf("daemon stale %v != %d", stale, ref.Stale())
 	}
 }

@@ -10,6 +10,12 @@
 //
 //	POST /v1/ingest    JSON {"updates": [[item, delta], ...]} — batched
 //	                   turnstile updates through the unified Estimator.
+//	POST /v1/stream    upgrades the connection (hijack, 101 Switching
+//	                   Protocols) to the persistent binary ingest stream:
+//	                   length-prefixed wire ingest frames in, one ack per
+//	                   frame out, sent only AFTER the batch is applied —
+//	                   an ack is a durability receipt the graceful-drain
+//	                   path honors (see stream.go and the Pusher).
 //	GET  /v1/snapshot  the serialized sketch state (application/octet-stream).
 //	POST /v1/merge     a serialized shard sketch to fold in (the body is a
 //	                   /v1/snapshot payload from a worker with the same
@@ -39,6 +45,14 @@
 // The deployment topology mirrors the cmd/server + cmd/worker split of
 // distributed work-queue systems: workers sit close to the traffic and
 // absorb updates; the coordinator owns the query surface.
+//
+// Client is the typed HTTP client for all of the above; every verb has
+// a context-first form (PushContext, EstimateContext, ...) with a
+// Background() shim under the old name, and /v1/estimate responses
+// decode into the typed EstimateResult the server itself encodes.
+// Pusher is the asynchronous push session (bounded queue, batching by
+// size and age, backpressure instead of drops) over either transport:
+// JSON POSTs or the /v1/stream binary framing.
 //
 // Durability and self-healing: Server.WriteCheckpoint atomically
 // persists the wire snapshot (temp file + fsync + rename) with the Spec

@@ -215,7 +215,7 @@ func (m *Membership) ProbeAll() {
 	cfg := m.cfg
 	for _, addr := range m.addrs() {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
-		err := m.client(addr).checkSpec(ctx, m.srv.fp)
+		err := m.client(addr).CheckSpecContext(ctx, m.srv.fp)
 		cancel()
 		m.mu.Lock()
 		mem, ok := m.members[addr]
@@ -302,7 +302,7 @@ func (m *Membership) fetchSnapshot(addr string) ([]byte, error) {
 			delay *= 2
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
-		snap, err := c.snapshot(ctx)
+		snap, err := c.SnapshotContext(ctx)
 		cancel()
 		if err == nil {
 			return snap, nil

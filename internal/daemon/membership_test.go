@@ -220,7 +220,7 @@ func TestAutoPullRebuildsWithoutDoubleCounting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return got["estimate"].(float64)
+		return *got.Estimate
 	}
 	if got := est(); got != halfSerial.Estimate() {
 		t.Fatalf("after round 1: estimate %.17g != serial(half) %.17g", got, halfSerial.Estimate())
@@ -304,7 +304,7 @@ func TestPullKeepsDeadWorkersLastSnapshot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return got["estimate"].(float64)
+		return *got.Estimate
 	}
 	if got := est(); got != serial.Estimate() {
 		t.Fatalf("pre-crash estimate %.17g != serial %.17g", got, serial.Estimate())
@@ -379,12 +379,12 @@ func TestMembershipLoopsEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got["estimate"].(float64) == serial.Estimate() {
+		if *got.Estimate == serial.Estimate() {
 			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("auto-pull never converged: estimate %v, want %.17g",
-				got["estimate"], serial.Estimate())
+				*got.Estimate, serial.Estimate())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -510,7 +510,7 @@ func TestSelfHealingClusterE2E(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est := got["estimate"].(float64); est != serial.Estimate() {
+	if est := *got.Estimate; est != serial.Estimate() {
 		t.Errorf("healed estimate %.17g != serial %.17g", est, serial.Estimate())
 	}
 }

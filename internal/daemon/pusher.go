@@ -1,0 +1,504 @@
+package daemon
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// Pusher defaults.
+const (
+	// DefaultPushBatch is the updates-per-frame (or per-JSON-request)
+	// batch size.
+	DefaultPushBatch = 4096
+	// DefaultMaxInFlight bounds unacked frames on the stream transport.
+	DefaultMaxInFlight = 4
+	// DefaultFlushEvery bounds how long a partial batch may age before
+	// it is sent anyway.
+	DefaultFlushEvery = 100 * time.Millisecond
+)
+
+// ErrDraining is wrapped by Pusher errors when the daemon announced a
+// graceful drain mid-stream. Every frame acked before it is durable
+// (the daemon checkpoints after flushing acks); the Pusher's unsent and
+// unacked updates are the caller's to redeliver after the restart.
+var ErrDraining = errors.New("daemon draining")
+
+// PusherConfig tunes an asynchronous Pusher.
+type PusherConfig struct {
+	// Stream selects the binary streaming transport (one persistent
+	// connection, length-prefixed frames, per-frame acks). False means
+	// JSON POSTs to /v1/ingest — same batching and bounded queue,
+	// per-request overhead.
+	Stream bool
+	// MaxBatch is the updates per frame/request (0 = DefaultPushBatch).
+	MaxBatch int
+	// MaxBuffered caps the queue in updates; Push blocks when full
+	// (0 = 4 * MaxBatch). It never drops.
+	MaxBuffered int
+	// MaxInFlight bounds unacked stream frames (0 = DefaultMaxInFlight).
+	MaxInFlight int
+	// FlushEvery bounds a partial batch's age (0 = DefaultFlushEvery).
+	FlushEvery time.Duration
+	// AckTimeout bounds how long the stream transport waits for an ack
+	// while frames are in flight (0 = 1 minute). A daemon that stops
+	// acking surfaces as an error instead of a hang.
+	AckTimeout time.Duration
+}
+
+func (cfg PusherConfig) withDefaults() PusherConfig {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultPushBatch
+	}
+	if cfg.MaxBuffered <= 0 {
+		cfg.MaxBuffered = 4 * cfg.MaxBatch
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = DefaultFlushEvery
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = time.Minute
+	}
+	return cfg
+}
+
+// PusherStats counts a Pusher's progress, in updates except Frames.
+type PusherStats struct {
+	// Enqueued is how many updates Push has accepted.
+	Enqueued uint64
+	// Sent is how many updates have left the queue for the transport.
+	Sent uint64
+	// Acked is how many updates the daemon has acknowledged applying
+	// (for the JSON transport, how many POSTs returned 200).
+	Acked uint64
+	// Frames is how many frames/requests carried them.
+	Frames uint64
+	// Total is the daemon's ingest counter from the last ack (stream
+	// transport only).
+	Total uint64
+}
+
+// Pusher is an asynchronous, batching push session against one daemon:
+// Push enqueues into a bounded buffer and returns immediately (blocking
+// only when the buffer is full — backpressure, never drops), a
+// background worker flushes batches by size and age, and Close flushes
+// whatever remains and waits for every ack. Errors are sticky: the
+// first transport or daemon error fails all subsequent calls, and
+// Close reports it. A Pusher is safe for concurrent Push calls.
+//
+// On the stream transport an ack is a durability receipt (see
+// /v1/stream); Stats().Acked is exactly the prefix of the session that
+// survives a daemon drain.
+type Pusher struct {
+	c   *Client
+	cfg PusherConfig
+	ctx context.Context
+	sc  *streamConn // nil on the JSON transport
+	fp  uint64
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []stream.Update
+	flushReq  bool
+	flushDue  bool // age timer fired
+	closed    bool
+	err       error
+	draining  bool
+	timer     *time.Timer
+	nextSeq   uint64
+	ackedSeq  uint64
+	unacked   int            // updates taken from buf, not yet acked
+	pending   map[uint64]int // stream: in-flight seq -> update count
+	stats     PusherStats
+	workerEnd chan struct{}
+	readerEnd chan struct{}
+}
+
+// NewPusher opens an asynchronous push session against the daemon this
+// client points at. ctx governs the whole session: dialing, every JSON
+// send, and cancellation (a canceled ctx fails the session with ctx's
+// error). The stream transport fetches the daemon's Spec fingerprint
+// via /v1/config first, so a misconfigured client fails here, not
+// mid-stream.
+func (c *Client) NewPusher(ctx context.Context, cfg PusherConfig) (*Pusher, error) {
+	cfg = cfg.withDefaults()
+	p := &Pusher{c: c, cfg: cfg, ctx: ctx,
+		pending: make(map[uint64]int), workerEnd: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	if cfg.Stream {
+		info, err := c.ConfigContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: stream handshake: %w", err)
+		}
+		p.fp = info.Fingerprint
+		sc, err := c.dialStream(ctx)
+		if err != nil {
+			return nil, err
+		}
+		p.sc = sc
+		p.readerEnd = make(chan struct{})
+		go p.readAcks()
+	}
+	go p.worker()
+	// A canceled session ctx wakes every blocked Push/Flush.
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				p.fail(ctx.Err())
+			case <-p.workerEnd:
+			}
+		}()
+	}
+	return p, nil
+}
+
+// fail records the first error and wakes everyone.
+func (p *Pusher) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Err returns the sticky session error, if any.
+func (p *Pusher) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Stats returns a snapshot of the session counters.
+func (p *Pusher) Stats() PusherStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Push enqueues updates, blocking only while the bounded buffer is full
+// (backpressure: a slow daemon slows the producer; nothing is dropped).
+// It returns the sticky session error, under which nothing further is
+// enqueued.
+func (p *Pusher) Push(updates []stream.Update) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, u := range updates {
+		for p.err == nil && !p.closed && len(p.buf) >= p.cfg.MaxBuffered {
+			p.cond.Wait()
+		}
+		if p.err != nil {
+			return p.err
+		}
+		if p.closed {
+			return fmt.Errorf("daemon: push on closed Pusher")
+		}
+		if len(p.buf) == 0 {
+			p.armTimerLocked()
+		}
+		p.buf = append(p.buf, u)
+		p.stats.Enqueued++
+		if len(p.buf) >= p.cfg.MaxBatch {
+			p.cond.Broadcast()
+		}
+	}
+	return p.err
+}
+
+// armTimerLocked (re)arms the age flush for a newly started batch.
+func (p *Pusher) armTimerLocked() {
+	p.flushDue = false
+	if p.timer == nil {
+		p.timer = time.AfterFunc(p.cfg.FlushEvery, func() {
+			p.mu.Lock()
+			p.flushDue = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		})
+		return
+	}
+	p.timer.Reset(p.cfg.FlushEvery)
+}
+
+// Flush sends everything buffered and waits until the daemon has acked
+// it all (stream) or every request returned (JSON), then reports the
+// sticky error if any.
+func (p *Pusher) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushReq = true
+	p.cond.Broadcast()
+	for p.err == nil && (len(p.buf) > 0 || p.unacked > 0) {
+		p.cond.Wait()
+	}
+	return p.err
+}
+
+// Close flushes, tears the session down, and reports the sticky error.
+// A drain announced by the daemon after everything was acked is a clean
+// close; with updates still unacked it surfaces as an ErrDraining-
+// wrapped error naming how much must be redelivered. Close is
+// idempotent.
+func (p *Pusher) Close() error {
+	flushErr := p.Flush()
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	<-p.workerEnd
+	if p.sc != nil {
+		_ = p.sc.conn.Close()
+		<-p.readerEnd
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if flushErr != nil {
+		return flushErr
+	}
+	return p.err
+}
+
+// worker drains the buffer into the transport: full batches
+// immediately, partial ones on age, explicit Flush, or Close.
+func (p *Pusher) worker() {
+	defer close(p.workerEnd)
+	for {
+		p.mu.Lock()
+		for p.err == nil && !p.closed &&
+			len(p.buf) < p.cfg.MaxBatch && !(len(p.buf) > 0 && (p.flushDue || p.flushReq)) {
+			if len(p.buf) == 0 && p.flushReq && p.unacked == 0 {
+				p.flushReq = false
+				p.cond.Broadcast()
+			}
+			p.cond.Wait()
+		}
+		if p.err != nil || (p.closed && len(p.buf) == 0) {
+			p.mu.Unlock()
+			return
+		}
+		n := len(p.buf)
+		if n > p.cfg.MaxBatch {
+			n = p.cfg.MaxBatch
+		}
+		batch := make([]stream.Update, n)
+		copy(batch, p.buf)
+		rest := copy(p.buf, p.buf[n:])
+		p.buf = p.buf[:rest]
+		if len(p.buf) > 0 {
+			p.armTimerLocked()
+		} else {
+			p.flushDue = false
+		}
+		p.unacked += n
+		p.stats.Sent += uint64(n)
+		p.stats.Frames++
+		// Stream transport: respect the in-flight window before writing.
+		if p.sc != nil {
+			for p.err == nil && len(p.pending) >= p.cfg.MaxInFlight {
+				p.cond.Wait()
+			}
+			if p.err != nil {
+				p.mu.Unlock()
+				return
+			}
+			p.nextSeq++
+			seq := p.nextSeq
+			p.pending[seq] = n
+			p.mu.Unlock()
+			if err := p.sendFrame(seq, batch); err != nil {
+				p.fail(err)
+				return
+			}
+			continue
+		}
+		p.mu.Unlock()
+		if err := p.c.PushContext(p.ctx, batch); err != nil {
+			p.fail(err)
+			return
+		}
+		p.mu.Lock()
+		p.unacked -= n
+		p.stats.Acked += uint64(n)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// sendFrame writes one frame and refreshes the ack-stall deadline.
+func (p *Pusher) sendFrame(seq uint64, batch []stream.Update) error {
+	_ = p.sc.conn.SetWriteDeadline(time.Now().Add(p.cfg.AckTimeout))
+	if err := wire.WriteFrame(p.sc.bw, wire.AppendIngestFrame(p.fp, seq, batch)); err != nil {
+		return fmt.Errorf("daemon: stream send: %w", err)
+	}
+	if err := p.sc.bw.Flush(); err != nil {
+		return fmt.Errorf("daemon: stream send: %w", err)
+	}
+	return nil
+}
+
+// readAcks consumes the daemon's ack stream, releasing window slots and
+// waking Flush. The read deadline doubles as a stall detector: while
+// frames are in flight, no ack within AckTimeout is an error; while
+// idle, the deadline just re-arms.
+func (p *Pusher) readAcks() {
+	defer close(p.readerEnd)
+	for {
+		_ = p.sc.conn.SetReadDeadline(time.Now().Add(p.cfg.AckTimeout))
+		payload, err := wire.ReadFrame(p.sc.br, wire.MaxIngestAckBytes)
+		if err != nil {
+			p.mu.Lock()
+			inflight := len(p.pending)
+			closed := p.closed
+			p.mu.Unlock()
+			if isTimeout(err) && inflight == 0 && !closed {
+				continue // idle; re-arm
+			}
+			if !closed {
+				p.fail(fmt.Errorf("daemon: stream ack: %w", err))
+			}
+			return
+		}
+		ack, err := wire.UnmarshalIngestAck(payload, p.fp)
+		if err != nil {
+			p.fail(fmt.Errorf("daemon: stream ack: %w", err))
+			return
+		}
+		switch ack.Status {
+		case wire.IngestAckOK:
+			p.mu.Lock()
+			if n, ok := p.pending[ack.Seq]; ok {
+				delete(p.pending, ack.Seq)
+				p.unacked -= n
+				p.stats.Acked += uint64(n)
+			}
+			p.ackedSeq = ack.Seq
+			p.stats.Total = ack.Total
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		case wire.IngestAckDraining:
+			p.mu.Lock()
+			// Everything up to ack.Seq survived; anything after it (and
+			// the buffer) must be redelivered after the restart.
+			for seq, n := range p.pending {
+				if seq <= ack.Seq {
+					delete(p.pending, seq)
+					p.unacked -= n
+					p.stats.Acked += uint64(n)
+				}
+			}
+			p.ackedSeq = ack.Seq
+			p.stats.Total = ack.Total
+			p.draining = true
+			lost := p.unacked + len(p.buf)
+			if p.err == nil {
+				if lost == 0 {
+					// Clean cut: every update we sent is durable. Treat
+					// as end-of-session, not an error, unless more work
+					// arrives (Push after this fails below).
+					p.err = nil
+					p.closed = true
+				} else {
+					p.err = fmt.Errorf("daemon: %w after acking %d updates; %d unacked updates must be redelivered: %s",
+						ErrDraining, p.stats.Acked, lost, ack.Msg)
+				}
+			}
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		default:
+			p.fail(fmt.Errorf("daemon: stream rejected frame %d: %s", ack.Seq, ack.Msg))
+			return
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// streamConn is the client end of one upgraded /v1/stream connection.
+type streamConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// dialStream dials the daemon and upgrades the connection to the
+// framed streaming protocol (POST /v1/stream, 101 Switching
+// Protocols). The handshake is bounded by ctx (or the client timeout);
+// the resulting connection has no deadline — the Pusher manages its
+// own.
+func (c *Client) dialStream(ctx context.Context) (*streamConn, error) {
+	u, err := url.Parse(c.base)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: stream dial: %w", err)
+	}
+	if u.Scheme != "http" {
+		return nil, fmt.Errorf("daemon: the stream transport needs an http base URL, got %q", c.base)
+	}
+	host := u.Host
+	if !strings.Contains(host, ":") {
+		host += ":80"
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: stream dial: %w", err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	} else {
+		_ = conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/stream", nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	req.Header.Set("Connection", "Upgrade")
+	req.Header.Set("Upgrade", StreamProtocol)
+	if err := req.Write(conn); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("daemon: stream handshake: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, req)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("daemon: stream handshake: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		err := fmt.Errorf("daemon: stream refused: %s", resp.Status)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			err = fmt.Errorf("daemon: stream refused: %s (daemon draining)", resp.Status)
+		}
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &streamConn{conn: conn, br: br, bw: bufio.NewWriter(conn)}, nil
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -51,6 +52,12 @@ type BenchSpec struct {
 	// PushBatch is the updates-per-request size for the daemon backend
 	// (0 = engine.DefaultBatchSize).
 	PushBatch int
+	// Transport selects how the daemon backend ships updates: "json"
+	// (the default; one POST /v1/ingest per batch) or "stream" (one
+	// persistent binary /v1/stream connection per worker, framed batches
+	// with per-frame acks). Either way the pushing goes through the
+	// async daemon.Pusher, so the comparison isolates the wire format.
+	Transport string
 	// Window, when positive, switches the run to sliding-window mode:
 	// the scenario stream is generated with a tick dimension (Ticked;
 	// Cfg.Ticks sets the stream's tick span) and the estimate covers
@@ -76,6 +83,9 @@ type BenchResult struct {
 	Estimate      float64
 	RelErr        float64
 	SpaceBytes    int
+	// Transport is the daemon backend's wire transport ("json" or
+	// "stream"; empty for in-process backends).
+	Transport string
 	// Windowed-mode extras: the window length (0 for whole-stream runs),
 	// the final tick of the stream, and how many ticks beyond the window
 	// the estimate still included (bounded by the histogram's documented
@@ -83,6 +93,27 @@ type BenchResult struct {
 	Window     int
 	LastTick   uint64
 	StaleTicks uint64
+}
+
+// resultTransport is the normalized transport for a BenchResult: set
+// only for the daemon backend, where a wire format was actually used.
+func (s BenchSpec) resultTransport() string {
+	if s.Backend != "daemon" {
+		return ""
+	}
+	tr, _ := s.transport()
+	return tr
+}
+
+// transport normalizes and validates BenchSpec.Transport.
+func (s BenchSpec) transport() (string, error) {
+	switch s.Transport {
+	case "", "json":
+		return "json", nil
+	case "stream":
+		return "stream", nil
+	}
+	return "", fmt.Errorf("workload: unknown transport %q (json, stream)", s.Transport)
 }
 
 // spec assembles the one backend.Spec a run resolves everything
@@ -185,6 +216,7 @@ func RunBench(spec BenchSpec) (BenchResult, error) {
 		Estimate:      est,
 		RelErr:        util.RelErr(est, exact),
 		SpaceBytes:    space,
+		Transport:     spec.resultTransport(),
 	}, nil
 }
 
@@ -244,34 +276,42 @@ func runDaemonBench(s *stream.Stream, spec BenchSpec, sp backend.Spec, workers i
 	if batch <= 0 {
 		batch = engine.DefaultBatchSize
 	}
+	transport, err := spec.transport()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ctx := context.Background()
 	updates := s.Updates()
 	start := time.Now()
 	for i, w := range ws {
 		lo, hi := engine.Cut(len(updates), workers, i)
-		for b := lo; b < hi; b += batch {
-			e := b + batch
-			if e > hi {
-				e = hi
-			}
-			if err := w.client.Push(updates[b:e]); err != nil {
-				return 0, 0, 0, fmt.Errorf("worker %d: %w", i, err)
-			}
+		p, err := w.client.NewPusher(ctx, daemon.PusherConfig{
+			Stream: transport == "stream", MaxBatch: batch})
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("worker %d: %w", i, err)
+		}
+		pushErr := p.Push(updates[lo:hi])
+		if err := p.Close(); err != nil {
+			return 0, 0, 0, fmt.Errorf("worker %d: %w", i, err)
+		}
+		if pushErr != nil {
+			return 0, 0, 0, fmt.Errorf("worker %d: %w", i, pushErr)
 		}
 	}
-	if err := coord.client.PullFrom(urls); err != nil {
+	if err := coord.client.PullFromContext(ctx, urls); err != nil {
 		return 0, 0, 0, err
 	}
-	resp, err := coord.client.Estimate(url.Values{})
+	resp, err := coord.client.EstimateContext(ctx, url.Values{})
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	elapsed := time.Since(start)
-	est, ok := resp["estimate"].(float64)
+	est, ok := resp.Value()
 	if !ok {
-		return 0, 0, 0, fmt.Errorf("workload: daemon estimate response missing numeric estimate: %v", resp)
+		return 0, 0, 0, fmt.Errorf("workload: daemon estimate response missing numeric estimate: %+v", resp)
 	}
 	space := 0
-	if info, err := coord.client.Config(); err == nil {
+	if info, err := coord.client.ConfigContext(ctx); err == nil {
 		space = info.SpaceBytes
 	}
 	return est, space, elapsed, nil
@@ -380,6 +420,7 @@ func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 		Estimate:      est,
 		RelErr:        util.RelErr(est, exact),
 		SpaceBytes:    space,
+		Transport:     spec.resultTransport(),
 		Window:        spec.Window,
 		LastTick:      last,
 		StaleTicks:    stale,
@@ -437,51 +478,64 @@ func runWindowedDaemonBench(ts *TickedStream, spec BenchSpec, sp backend.Spec, w
 	if batch <= 0 {
 		batch = engine.DefaultBatchSize
 	}
+	transport, err := spec.transport()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	ctx := context.Background()
 	updates := ts.Stream.Updates()
 	last := ts.LastTick()
 	start := time.Now()
 	for i, wkr := range ws {
 		lo, hi := engine.Cut(len(updates), workers, i)
-		err := ts.EachRun(lo, hi, func(lo, hi int, tick uint64) error {
-			if _, err := wkr.client.Advance(tick); err != nil {
+		p, err := wkr.client.NewPusher(ctx, daemon.PusherConfig{
+			Stream: transport == "stream", MaxBatch: batch})
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("worker %d: %w", i, err)
+		}
+		// The clock and the data ride different channels (POST
+		// /v1/advance vs the push transport), so every Advance is
+		// preceded by a Flush: all updates of the previous tick run must
+		// be applied before the clock moves, or the daemon would stamp
+		// them into the wrong tick. This is the async-Pusher analogue of
+		// ingestTicked's strict advance/ingest interleaving.
+		err = ts.EachRun(lo, hi, func(lo, hi int, tick uint64) error {
+			if err := p.Flush(); err != nil {
 				return err
 			}
-			for b := lo; b < hi; b += batch {
-				e := b + batch
-				if e > hi {
-					e = hi
-				}
-				if err := wkr.client.Push(updates[b:e]); err != nil {
-					return err
-				}
+			if _, err := wkr.client.AdvanceContext(ctx, tick); err != nil {
+				return err
 			}
-			return nil
+			return p.Push(updates[lo:hi])
 		})
+		if cerr := p.Close(); err == nil {
+			err = cerr
+		}
 		if err == nil {
-			_, err = wkr.client.Advance(last)
+			_, err = wkr.client.AdvanceContext(ctx, last)
 		}
 		if err != nil {
 			return 0, 0, 0, 0, fmt.Errorf("worker %d: %w", i, err)
 		}
 	}
-	if _, err := coord.client.Advance(last); err != nil {
+	if _, err := coord.client.AdvanceContext(ctx, last); err != nil {
 		return 0, 0, 0, 0, err
 	}
-	if err := coord.client.PullFrom(urls); err != nil {
+	if err := coord.client.PullFromContext(ctx, urls); err != nil {
 		return 0, 0, 0, 0, err
 	}
-	resp, err := coord.client.Estimate(url.Values{})
+	resp, err := coord.client.EstimateContext(ctx, url.Values{})
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
 	elapsed := time.Since(start)
-	est, ok := resp["estimate"].(float64)
+	est, ok := resp.Value()
 	if !ok {
-		return 0, 0, 0, 0, fmt.Errorf("workload: daemon estimate response missing numeric estimate: %v", resp)
+		return 0, 0, 0, 0, fmt.Errorf("workload: daemon estimate response missing numeric estimate: %+v", resp)
 	}
 	stale := uint64(0)
-	if s, ok := resp["stale_ticks"].(float64); ok {
-		stale = uint64(s)
+	if resp.StaleTicks != nil {
+		stale = *resp.StaleTicks
 	}
 	space := 0
 	if info, err := coord.client.Config(); err == nil {

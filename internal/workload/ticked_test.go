@@ -166,17 +166,19 @@ func TestWindowedBenchBackendsAgreeExactly(t *testing.T) {
 				t.Fatalf("%s parallel-%d estimate %v != serial %v", gen.Name(), workers, got.Estimate, want.Estimate)
 			}
 		}
-		dm := spec
-		dm.Backend, dm.Workers = "daemon", 2
-		got, err := RunBench(dm)
-		if err != nil {
-			t.Fatalf("%s daemon: %v", gen.Name(), err)
-		}
-		if got.Estimate != want.Estimate {
-			t.Fatalf("%s daemon estimate %v != serial %v", gen.Name(), got.Estimate, want.Estimate)
-		}
-		if got.StaleTicks != want.StaleTicks {
-			t.Fatalf("%s daemon stale %d != serial %d", gen.Name(), got.StaleTicks, want.StaleTicks)
+		for _, transport := range []string{"json", "stream"} {
+			dm := spec
+			dm.Backend, dm.Workers, dm.Transport = "daemon", 2, transport
+			got, err := RunBench(dm)
+			if err != nil {
+				t.Fatalf("%s daemon/%s: %v", gen.Name(), transport, err)
+			}
+			if got.Estimate != want.Estimate {
+				t.Fatalf("%s daemon/%s estimate %v != serial %v", gen.Name(), transport, got.Estimate, want.Estimate)
+			}
+			if got.StaleTicks != want.StaleTicks {
+				t.Fatalf("%s daemon/%s stale %d != serial %d", gen.Name(), transport, got.StaleTicks, want.StaleTicks)
+			}
 		}
 	}
 }

@@ -3,9 +3,12 @@
 // — the BenchmarkProcess* ingestion family (BenchmarkProcessRegistry
 // included: the registry-dispatch ingest path), the BenchmarkWindow*
 // sliding-window family, the BenchmarkOpen/BenchmarkSpecFingerprint
-// registry layer, and BenchmarkCheckpoint (the daemon's atomic
+// registry layer, BenchmarkCheckpoint (the daemon's atomic
 // checkpoint write, paid every -checkpoint-every interval by every
-// running gsumd) — taking the MINIMUM across repeated -count runs, the
+// running gsumd), and the BenchmarkDaemonIngest* transport family
+// (in-process ceiling vs JSON vs binary /v1/stream; the stream entry
+// is the acceptance gate keeping the wire transport within 2x of the
+// no-wire apply path) — taking the MINIMUM across repeated -count runs, the
 // least noisy statistic on shared CI runners — and compares against the
 // committed baseline.
 //
@@ -15,7 +18,7 @@
 // .github/workflows/ci.yml does on every push; benchdiff lives in
 // scripts/, so `go run ./scripts` runs it from the repo root):
 //
-//	go test -run '^$' -bench '^Benchmark(Process|Window|Open|SpecFingerprint|Checkpoint)' -benchtime 3x -count 3 . | tee bench.txt
+//	go test -run '^$' -bench '^Benchmark(Process|Window|Open|SpecFingerprint|Checkpoint|DaemonIngest)' -benchtime 3x -count 3 . | tee bench.txt
 //	go run ./scripts -baseline BENCH_baseline.json -current bench.txt
 //
 // Exit codes: 0 when every gated benchmark is within threshold, 1 on a
@@ -36,7 +39,7 @@
 // BenchmarkProcessWorkload/zipf).
 //
 // -prefix takes a comma-separated list of gated name prefixes (default
-// "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint");
+// "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint,BenchmarkDaemonIngest");
 // results matching none of them are ignored entirely.
 //
 // Refresh the baseline after an intentional performance change (this
@@ -115,7 +118,7 @@ func run() int {
 	current := flag.String("current", "", "path to `go test -bench` output")
 	baselinePath := flag.String("baseline", "", "path to the committed baseline JSON")
 	write := flag.String("write", "", "write a fresh baseline JSON to this path and exit")
-	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint",
+	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint,BenchmarkDaemonIngest",
 		"comma-separated benchmark name prefixes to gate")
 	threshold := flag.Float64("threshold", 2.0, "fail when current > threshold * baseline")
 	flag.Parse()
