@@ -24,6 +24,7 @@ import (
 	"repro/internal/heavy"
 	"repro/internal/sketch"
 	"repro/internal/stream"
+	"repro/internal/sweep"
 	"repro/internal/util"
 	"repro/internal/window"
 	"repro/internal/workload"
@@ -477,6 +478,20 @@ func BenchmarkProcessWorkload(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)*float64(s.Len())/b.Elapsed().Seconds(), "updates/s")
 		})
+	}
+}
+
+// BenchmarkSweepCell joins the regression gate for the sweep engine: one
+// serial cell of the built-in smoke matrix end to end — scenario
+// generation, ingestion, estimate, and point-query scoring — the unit of
+// work `gsum sweep` fans out per process.
+func BenchmarkSweepCell(b *testing.B) {
+	cfg := sweep.Smoke()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.RunCell(cfg, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

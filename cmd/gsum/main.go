@@ -8,6 +8,8 @@
 //	gsum bench -backend daemon    ... through an in-process gsumd topology
 //	gsum bench -backend list      print the registered backend kinds
 //	gsum bench -window 8          ... estimating only the last 8 ticks
+//	gsum sweep -f sweep.json      run a workload x backend x eps matrix
+//	gsum sweep -smoke             ... the built-in small smoke matrix
 //	gsum experiments [-quick]     run the full E1-E15 experiment suite
 //	gsum experiments -run E4      run a single experiment
 //	gsum push [flags]             push a stream shard to a gsumd daemon
@@ -61,6 +63,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return runEstimate(argv[1:], stdout, stderr)
 	case "bench":
 		return runBench(argv[1:], stdout, stderr)
+	case "sweep":
+		return runSweep(argv[1:], stdout, stderr)
 	case "experiments":
 		return runExperiments(argv[1:], stdout, stderr)
 	case "push":
@@ -82,6 +86,7 @@ func usage(w io.Writer) {
   gsum classify [-f name] [-m max]    zero-one-law classification
   gsum estimate [flags]               estimate g-SUM on a generated stream
   gsum bench [flags]                  benchmark a workload scenario end to end
+  gsum sweep -f CONFIG | -smoke       run a sweep matrix across worker processes
   gsum experiments [-quick] [-run E#] reproduce the paper's experiments
   gsum push -addr URL [flags]         push a stream shard to a gsumd daemon
   gsum query -addr URL [flags]        query a gsumd daemon's estimate
@@ -230,11 +235,24 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	win := fs.Int("window", 0, "sliding-window mode: estimate only the last W ticks (0 = whole stream)")
 	ticks := fs.Int("ticks", workload.DefaultTicks, "tick span of the generated stream (windowed mode)")
 	windowk := fs.Int("windowk", 0, "histogram buckets per span class: higher = fewer stale ticks, more space (0 = default 2)")
+	trace := fs.String("trace", "", "CSV file for the trace workload (item[,delta] per line; default: embedded trace)")
 	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
 		return code
 	}
 	if *win < 0 || *ticks < 1 {
 		fmt.Fprintln(stderr, "gsum bench: -window must be >= 0 and -ticks >= 1")
+		return 2
+	}
+	// Field-by-field validation of the user's scenario, surfaced as flag
+	// errors — a bad -items is a message, not a silently substituted
+	// default deep inside a generator.
+	cfg := workload.Config{N: *n, Items: *items, Length: *length, Seed: *seed, Ticks: *ticks}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(stderr, "gsum bench: %v\n", err)
+		return 2
+	}
+	if err := workload.ValidateAlpha(*alpha); err != nil {
+		fmt.Fprintf(stderr, "gsum bench: %v\n", err)
 		return 2
 	}
 
@@ -275,7 +293,9 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	// Honor -alpha for the skewed scenarios without disturbing the rest.
+	// Honor -alpha for the skewed scenarios without disturbing the rest,
+	// aim the adversarial scenario at the seed this command derives the
+	// sketch from, and point the trace scenario at -trace.
 	switch *wname {
 	case "zipf":
 		gen = workload.Zipf{Alpha: *alpha}
@@ -283,11 +303,22 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		gen = workload.Bursty{Alpha: *alpha}
 	case "permuted":
 		gen = workload.PermutedReplay{Inner: workload.Zipf{Alpha: *alpha}}
+	case "diurnal":
+		gen = workload.Diurnal{Alpha: *alpha}
+	case "adversarial":
+		gen = workload.Adversarial{SketchSeed: *seed * 7}
+	case "trace":
+		tr := workload.TraceReplay{Path: *trace}
+		if err := tr.Validate(); err != nil {
+			fmt.Fprintf(stderr, "gsum bench: %v\n", err)
+			return 2
+		}
+		gen = tr
 	}
 
 	res, err := workload.RunBench(workload.BenchSpec{
 		Generator: gen,
-		Cfg:       workload.Config{N: *n, Items: *items, Length: *length, Seed: *seed, Ticks: *ticks},
+		Cfg:       cfg,
 		G:         g,
 		Opts:      universal.Options{M: 1 << 10, Eps: *eps, Seed: *seed * 7, Lambda: 1.0 / 16},
 		Backend:   *backend,

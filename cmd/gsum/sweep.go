@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/cliflag"
+	"repro/internal/sweep"
+)
+
+// runSweep is the CLI face of internal/sweep, with three modes sharing
+// one flag set:
+//
+//	gsum sweep -f sweep.json [-out DIR]   parent: fan the matrix out across
+//	                                      worker processes, merge, report
+//	gsum sweep -f cfg -out DIR -cell N    worker: run ONE cell, write its JSON
+//	gsum sweep -f cfg -out DIR -merge     merge existing results only
+//
+// The parent self-execs this binary for every cell, so a crashing cell
+// takes down one process, not the sweep: the merge lists it under
+// "Missing cells" and the run exits 1.
+func runSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfgPath := fs.String("f", "", "sweep config file (JSON; stream block + canonical Spec JSON + axes)")
+	out := fs.String("out", "", "output directory for per-cell results, merged.json, and report.md (default: a temp dir)")
+	procs := fs.Int("procs", 0, "max concurrent worker processes (0 = config value, then GOMAXPROCS)")
+	cell := fs.Int("cell", -1, "worker mode: run only this cell index and write its result into -out")
+	mergeOnly := fs.Bool("merge", false, "merge the results already in -out and report, without running cells")
+	smoke := fs.Bool("smoke", false, "run the built-in small smoke matrix (no -f needed)")
+	timing := fs.Bool("timing", false, "include wall-clock throughput in the report and merged.json (not deterministic)")
+	list := fs.Bool("list", false, "print the config's cell list and exit")
+	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
+		return code
+	}
+
+	var cfg sweep.Config
+	var err error
+	switch {
+	case *smoke:
+		cfg = sweep.Smoke()
+	case *cfgPath == "":
+		fmt.Fprintln(stderr, "gsum sweep: need -f CONFIG or -smoke")
+		return 2
+	default:
+		cfg, err = sweep.ParseConfigFile(*cfgPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 2
+		}
+	}
+	if *procs > 0 {
+		cfg.Procs = *procs
+	}
+
+	if *list {
+		cells := cfg.Cells()
+		fmt.Fprintf(stdout, "%d cells:\n", len(cells))
+		for _, c := range cells {
+			fmt.Fprintf(stdout, "  %4d  %s\n", c.Index, c.ID())
+		}
+		return 0
+	}
+
+	if *cell >= 0 {
+		if *out == "" {
+			fmt.Fprintln(stderr, "gsum sweep: worker mode needs -out DIR")
+			return 2
+		}
+		res, err := sweep.RunCell(cfg, *cell)
+		if err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 1
+		}
+		if err := sweep.WriteCellResult(*out, res); err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	dir := *out
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "gsum-sweep-"); err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "gsum sweep: writing results to %s\n", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+		return 1
+	}
+
+	var merged sweep.Merged
+	if *mergeOnly {
+		if merged, err = sweep.MergeDir(cfg, dir); err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 1
+		}
+	} else {
+		// Materialize the normalized config inside the output directory:
+		// the workers parse THIS file, so parent and workers provably
+		// derive the cell list from identical bytes (and -smoke needs a
+		// file to hand them at all).
+		cfgFile := filepath.Join(dir, "sweep.config.json")
+		data, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfgFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 1
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 1
+		}
+		res, err := sweep.Run(cfg, dir, func(i int) *exec.Cmd {
+			return exec.Command(exe, "sweep", "-f", cfgFile, "-out", dir, "-cell", strconv.Itoa(i))
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+			return 1
+		}
+		for _, f := range res.Failed {
+			fmt.Fprintf(stderr, "gsum sweep: worker failed: %s\n", f)
+		}
+		merged = res.Merged
+	}
+
+	if err := sweep.WriteMerged(filepath.Join(dir, "merged.json"), merged, *timing); err != nil {
+		fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+		return 1
+	}
+	reportFile, err := os.Create(filepath.Join(dir, "report.md"))
+	if err != nil {
+		fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+		return 1
+	}
+	render := io.MultiWriter(stdout, reportFile)
+	if err := sweep.Report(render, cfg, merged, *timing); err != nil {
+		reportFile.Close()
+		fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+		return 1
+	}
+	if err := reportFile.Close(); err != nil {
+		fmt.Fprintf(stderr, "gsum sweep: %v\n", err)
+		return 1
+	}
+	if !merged.Complete() {
+		fmt.Fprintf(stderr, "gsum sweep: %d of %d cells missing\n", len(merged.Missing), merged.Total)
+		return 1
+	}
+	return 0
+}

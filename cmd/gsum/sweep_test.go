@@ -1,0 +1,230 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the gsum executable: the
+// sweep parent self-execs os.Executable() for every cell, which during
+// tests is THIS binary — with GSUM_TEST_EXEC set it dispatches straight
+// into run() like the real main would.
+func TestMain(m *testing.M) {
+	if os.Getenv("GSUM_TEST_EXEC") == "1" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// sweepConfigJSON is a minimal two-cell config exercised by the CLI
+// tests: two workloads through the serial backend.
+const sweepConfigJSON = `{
+  "spec": {"g": "x^2"},
+  "stream": {"n": 65536, "items": 512, "length": 20000, "seed": 1},
+  "workloads": ["zipf", "adversarial"],
+  "backends": ["serial"],
+  "eps": [0.25],
+  "point_k": 8
+}`
+
+func writeSweepConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSweepSmoke is the CI short-mode path: the built-in matrix fans out
+// across real worker processes, completes, and reports.
+func TestSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	t.Setenv("GSUM_TEST_EXEC", "1")
+	dir := t.TempDir()
+	stdout, stderr, code := gsum(t, "sweep", "-smoke", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "# gsum sweep report") ||
+		!strings.Contains(stdout, "(none — every cell reported)") ||
+		strings.Contains(stdout, "DIVERGED") {
+		t.Errorf("report not healthy:\n%s", stdout)
+	}
+	for _, f := range []string{"cell-0000.json", "merged.json", "report.md"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "report.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(report) != stdout {
+		t.Error("report.md differs from the stdout report")
+	}
+}
+
+// TestSweepList prints the deterministic cell enumeration without
+// running anything.
+func TestSweepList(t *testing.T) {
+	path := writeSweepConfig(t, sweepConfigJSON)
+	stdout, stderr, code := gsum(t, "sweep", "-f", path, "-list")
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "2 cells:") ||
+		!strings.Contains(stdout, "zipf serial eps=0.25 w=1") ||
+		!strings.Contains(stdout, "adversarial serial eps=0.25 w=1") {
+		t.Errorf("cell list:\n%s", stdout)
+	}
+}
+
+// TestSweepWorkerAndMerge drives the worker and merge modes directly:
+// one cell's worker writes its JSON; the merge of a half-finished sweep
+// exits non-zero and names the absent cell — the CLI face of the
+// crashed-worker contract.
+func TestSweepWorkerAndMerge(t *testing.T) {
+	path := writeSweepConfig(t, sweepConfigJSON)
+	dir := t.TempDir()
+	_, stderr, code := gsum(t, "sweep", "-f", path, "-out", dir, "-cell", "0")
+	if code != 0 {
+		t.Fatalf("worker exit code %d; stderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "cell-0000.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("cell result not JSON: %v", err)
+	}
+	if res["workload"] != "zipf" {
+		t.Errorf("cell 0 result %v, want the zipf cell", res["workload"])
+	}
+
+	stdout, stderr, code := gsum(t, "sweep", "-f", path, "-out", dir, "-merge")
+	if code != 1 {
+		t.Fatalf("merge of a half-finished sweep exited %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cell 1 (adversarial serial eps=0.25 w=1): no result file") {
+		t.Errorf("report does not name the missing cell:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 of 2 cells missing") {
+		t.Errorf("stderr does not count the missing cells: %q", stderr)
+	}
+
+	// An out-of-range worker index is an error, not a silent no-op.
+	if _, stderr, code := gsum(t, "sweep", "-f", path, "-out", dir, "-cell", "7"); code != 1 ||
+		!strings.Contains(stderr, "outside") {
+		t.Errorf("out-of-range cell: code %d stderr %q", code, stderr)
+	}
+}
+
+// TestSweepRejectsBadConfig: one regression per bad config field, each
+// surfaced as a CLI error before any process starts.
+func TestSweepRejectsBadConfig(t *testing.T) {
+	base := func() map[string]any {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(sweepConfigJSON), &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		mut  func(m map[string]any)
+		want string
+	}{
+		{"negative items", func(m map[string]any) {
+			m["stream"].(map[string]any)["items"] = -3
+		}, "Items"},
+		{"negative length", func(m map[string]any) {
+			m["stream"].(map[string]any)["length"] = -1
+		}, "length"},
+		{"unknown workload", func(m map[string]any) { m["workloads"] = []string{"nope"} }, "unknown workload"},
+		{"unknown backend", func(m map[string]any) { m["backends"] = []string{"quantum"} }, "unknown backend"},
+		{"bad eps", func(m map[string]any) { m["eps"] = []float64{2} }, "eps"},
+		{"bad alpha", func(m map[string]any) { m["alpha"] = 99 }, "alpha"},
+		{"unknown g", func(m map[string]any) { m["spec"].(map[string]any)["g"] = "x^9000" }, "catalog"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base()
+			tc.mut(m)
+			data, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := writeSweepConfig(t, string(data))
+			_, stderr, code := gsum(t, "sweep", "-f", path, "-list")
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2; stderr: %q", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.want)
+			}
+		})
+	}
+	if _, stderr, code := gsum(t, "sweep"); code != 2 || !strings.Contains(stderr, "-f CONFIG or -smoke") {
+		t.Errorf("bare sweep: code %d stderr %q", code, stderr)
+	}
+}
+
+// TestBenchRejectsBadConfig: the same field-by-field validation guards
+// `gsum bench` — one regression per bad flag.
+func TestBenchRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero n", []string{"-n", "0"}, "domain"},
+		{"zero items", []string{"-items", "0"}, "Items"},
+		{"negative items", []string{"-items", "-3"}, "Items"},
+		{"zero len", []string{"-len", "0"}, "length"},
+		{"negative len", []string{"-len", "-1"}, "length"},
+		{"zero alpha", []string{"-alpha", "0"}, "alpha"},
+		{"huge alpha", []string{"-alpha", "99"}, "alpha"},
+		{"missing trace", []string{"-workload", "trace", "-trace", "/nonexistent/trace.csv"}, "trace"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := gsum(t, append([]string{"bench"}, tc.args...)...)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2; stderr: %q", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+// TestBenchNewWorkloads: the five sweep-era scenarios run end to end
+// through the bench CLI, including a user-supplied trace file.
+func TestBenchNewWorkloads(t *testing.T) {
+	for _, w := range []string{"drift", "adversarial", "flashcrowd", "diurnal", "trace"} {
+		stdout, stderr, code := gsum(t, "bench", "-workload", w,
+			"-n", "4096", "-items", "256", "-len", "20000")
+		if code != 0 {
+			t.Fatalf("%s: exit code %d; stderr:\n%s", w, code, stderr)
+		}
+		if !strings.Contains(stdout, "workload "+w) || !strings.Contains(stdout, "estimate") {
+			t.Errorf("%s output:\n%s", w, stdout)
+		}
+	}
+	csv := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(csv, []byte("1,5\n2,-3\n7\n9,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, code := gsum(t, "bench", "-workload", "trace", "-trace", csv,
+		"-n", "4096", "-items", "256", "-len", "5000"); code != 0 {
+		t.Fatalf("trace file bench: exit code %d; stderr:\n%s", code, stderr)
+	}
+}

@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Merged is the combined outcome of a sweep: every cell result that was
+// written, in matrix order, plus the identities of cells that were NOT —
+// a crashed worker shows up here by ID instead of silently shrinking the
+// tables.
+type Merged struct {
+	// Total is the size of the configured matrix.
+	Total int `json:"total_cells"`
+	// Cells holds the collected results in matrix (index) order.
+	Cells []CellResult `json:"cells"`
+	// Missing lists cells with no (or unreadable) result file, as
+	// "cell N (id): reason".
+	Missing []string `json:"missing,omitempty"`
+}
+
+// Complete reports whether every cell of the matrix produced a result.
+func (m Merged) Complete() bool { return len(m.Missing) == 0 }
+
+// MergeDir collects the per-cell result files of a sweep from dir. The
+// config determines the expected matrix; absent or malformed files
+// become Missing entries, never errors — the merge always reports the
+// whole matrix.
+func MergeDir(cfg Config, dir string) (Merged, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return Merged{}, err
+	}
+	cells := cfg.Cells()
+	m := Merged{Total: len(cells)}
+	for _, cell := range cells {
+		data, err := os.ReadFile(CellFile(dir, cell.Index))
+		if err != nil {
+			m.Missing = append(m.Missing, fmt.Sprintf("cell %d (%s): no result file", cell.Index, cell.ID()))
+			continue
+		}
+		var res CellResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			m.Missing = append(m.Missing, fmt.Sprintf("cell %d (%s): unreadable result: %v", cell.Index, cell.ID(), err))
+			continue
+		}
+		if res.Index != cell.Index {
+			m.Missing = append(m.Missing, fmt.Sprintf("cell %d (%s): result file claims index %d", cell.Index, cell.ID(), res.Index))
+			continue
+		}
+		m.Cells = append(m.Cells, res)
+	}
+	return m, nil
+}
+
+// Deterministic returns a copy of the merge with every wall-clock field
+// cleared, leaving only quantities that are pure functions of the
+// Config. WriteMerged and the default report go through it, which is
+// what makes `gsum sweep` reruns byte-identical.
+func (m Merged) Deterministic() Merged {
+	out := m
+	out.Cells = make([]CellResult, len(m.Cells))
+	for i, c := range m.Cells {
+		c.ElapsedNS = 0
+		c.UpdatesPerSec = 0
+		out.Cells[i] = c
+	}
+	return out
+}
+
+// WriteMerged writes the merged results as indented JSON to path. Unless
+// timing is requested, wall-clock fields are stripped first so the file
+// is deterministic.
+func WriteMerged(path string, m Merged, timing bool) error {
+	if !timing {
+		m = m.Deterministic()
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

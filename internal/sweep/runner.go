@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Launcher builds the worker process for one cell index. The production
+// launcher (cmd/gsum) self-execs `gsum sweep -f cfg -out dir -cell N`;
+// tests substitute the test binary. Run owns Start/Wait.
+type Launcher func(index int) *exec.Cmd
+
+// RunResult is the outcome of a full fan-out: the merged matrix plus the
+// launch-level failures (a worker that exited non-zero or could not
+// start). A failed worker usually also appears in Merged.Missing — the
+// two views are kept separate because a worker can fail AFTER writing
+// its result, and a cell can be missing without any process failing
+// (e.g. an out-of-range procs file was deleted).
+type RunResult struct {
+	Merged Merged
+	// Failed lists worker failures as "cell N (id): reason", sorted by
+	// cell index.
+	Failed []string
+}
+
+// Run fans the matrix out across worker processes — at most cfg.Procs
+// (default GOMAXPROCS) in flight — waits for them all, and merges the
+// per-cell results from dir. Worker crashes are collected, not fatal:
+// the merge still covers every surviving cell and names the missing
+// ones.
+func Run(cfg Config, dir string, launch Launcher) (RunResult, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return RunResult{}, fmt.Errorf("sweep: %w", err)
+	}
+	cells := cfg.Cells()
+	procs := cfg.Procs
+	if procs == 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if procs > len(cells) {
+		procs = len(cells)
+	}
+
+	sem := make(chan struct{}, procs)
+	type failure struct {
+		index int
+		msg   string
+	}
+	var mu sync.Mutex
+	var failures []failure
+	var wg sync.WaitGroup
+	for _, cell := range cells {
+		wg.Add(1)
+		go func(cell Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cmd := launch(cell.Index)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				msg := fmt.Sprintf("cell %d (%s): %v", cell.Index, cell.ID(), err)
+				if tail := lastLine(out); tail != "" {
+					msg += ": " + tail
+				}
+				mu.Lock()
+				failures = append(failures, failure{cell.Index, msg})
+				mu.Unlock()
+			}
+		}(cell)
+	}
+	wg.Wait()
+	sort.Slice(failures, func(i, j int) bool { return failures[i].index < failures[j].index })
+	failed := make([]string, len(failures))
+	for i, f := range failures {
+		failed[i] = f.msg
+	}
+
+	m, err := MergeDir(cfg, dir)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{Merged: m, Failed: failed}, nil
+}
+
+// lastLine extracts the final non-empty output line of a failed worker
+// for the failure message.
+func lastLine(out []byte) string {
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.TrimSpace(lines[len(lines)-1])
+}

@@ -30,11 +30,30 @@
 //	          locality destroyed — linear sketches must produce the
 //	          same estimates; order-sensitive optimizations must not
 //	          change results.
+//	drift     concept drift: the Zipf working set rotates through fresh
+//	          items mid-stream, so trackers that filled on the old
+//	          regime must survive the new one.
+//	adversarial  anti-sketch stream: decoy items mined offline to
+//	          collide with a victim item in the seeded CountSketch hash
+//	          family — the attacker knows the seed. Whole-stream g-SUM
+//	          estimates survive; point queries on the victim degrade
+//	          (demonstrated in EXPERIMENTS.md's sweep report).
+//	flashcrowd  a cold item goes vertical partway through an otherwise
+//	          Zipf stream: sudden heavy-hitter emergence.
+//	diurnal   Zipf popularity under a day-shaped per-tick volume curve
+//	          (trough to peak and back): the flat-stream vector matches
+//	          zipf exactly — the tick axis is the point, stressing
+//	          windowed estimators whose budgets are fixed per bucket.
+//	trace     CSV replay: item,delta lines from a user-supplied file
+//	          (or a seeded synthetic trace when no path is given)
+//	          through the same harness as every synthetic scenario.
 //
 // The package also hosts the bench runner (bench.go) behind the
 // `gsum bench` subcommand, which drives any generator through the
 // serial, sharded-parallel, or daemon (HTTP worker/coordinator)
 // ingestion paths and reports throughput and estimate-vs-exact error.
+// internal/sweep builds on both, running the full workload x backend x
+// eps x workers matrix across worker processes (`gsum sweep`).
 //
 // Layer: harness layer in ARCHITECTURE.md, upstream of the serial,
 // parallel, and daemon ingestion paths (and, in windowed mode, of

@@ -132,13 +132,15 @@ func TestPermutedTickedPerTickVectors(t *testing.T) {
 // TestWindowedBenchBackendsAgreeExactly is the windowed form of the
 // three-backend equality: serial, sharded parallel (several worker
 // counts), and the in-process gsumd window-backend topology must
-// produce bit-identical windowed estimates on the same ticked scenario.
+// produce bit-identical windowed estimates on the same ticked scenario
+// — for every generator in the catalog, so a new scenario cannot land
+// without joining the windowed contract.
 func TestWindowedBenchBackendsAgreeExactly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spins up daemons")
 	}
 	g := gfunc.F2Func()
-	for _, gen := range []Generator{Zipf{}, Bursty{}, PermutedReplay{}} {
+	for _, gen := range Generators() {
 		spec := BenchSpec{
 			Generator: gen,
 			Cfg:       Config{N: 1 << 10, Items: 128, Length: 4000, Seed: 3, Ticks: 32},

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestConfigValidate: one regression per bad field, and the good
+// configuration passes.
+func TestConfigValidate(t *testing.T) {
+	good := Config{N: 1 << 12, Items: 256, Length: 1000, Seed: 1, Ticks: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(c Config) Config
+		want string
+	}{
+		{"zero N", func(c Config) Config { c.N = 0; return c }, "domain"},
+		{"zero Items", func(c Config) Config { c.Items = 0; return c }, "Items"},
+		{"negative Items", func(c Config) Config { c.Items = -3; return c }, "Items"},
+		{"zero Length", func(c Config) Config { c.Length = 0; return c }, "length"},
+		{"negative Length", func(c Config) Config { c.Length = -1; return c }, "length"},
+		{"negative Ticks", func(c Config) Config { c.Ticks = -1; return c }, "tick"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.mut(good).Validate()
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%s: error %q does not name the field (%q)", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAlpha pins the accepted range (0, MaxAlpha].
+func TestValidateAlpha(t *testing.T) {
+	for _, ok := range []float64{0.1, 1.1, MaxAlpha} {
+		if err := ValidateAlpha(ok); err != nil {
+			t.Errorf("alpha %v rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []float64{0, -1, MaxAlpha + 1, math.NaN(), math.Inf(1)} {
+		if err := ValidateAlpha(bad); err == nil {
+			t.Errorf("alpha %v accepted", bad)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/stream"
@@ -8,22 +9,66 @@ import (
 )
 
 // Config parameterizes a scenario. All generators are deterministic
-// functions of the full Config value.
+// functions of the full Config value. The JSON tags are the stream
+// block of the sweep config file (internal/sweep).
 type Config struct {
 	// N is the domain size; generated items lie in [0, N).
-	N uint64
+	N uint64 `json:"n"`
 	// Items is the working-set cardinality: the number of distinct items
 	// the generator draws from (clamped to N).
-	Items int
+	Items int `json:"items"`
 	// Length is the number of updates in the generated stream.
-	Length int
+	Length int `json:"length"`
 	// Seed drives every random choice.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Ticks is the time span of the stream in ticks for the ticked
 	// variants (TickedGenerator); 0 means DefaultTicks. Whole-stream
 	// generation ignores it.
-	Ticks int
+	Ticks int `json:"ticks,omitempty"`
 }
+
+// Validate rejects configurations a generator would otherwise degrade
+// on: zero or negative domain, working set, or length, and a negative
+// tick span. CLI frontends (gsum bench, gsum sweep) call it on the
+// explicit user configuration BEFORE withDefaults, so a typo like
+// `-items 0` is an error message instead of a silently substituted
+// default deep inside a generator.
+func (c Config) Validate() error {
+	if c.N == 0 {
+		return fmt.Errorf("workload: domain size N must be positive")
+	}
+	if c.Items <= 0 {
+		return fmt.Errorf("workload: working-set cardinality Items must be positive, got %d", c.Items)
+	}
+	if c.Length <= 0 {
+		return fmt.Errorf("workload: stream length must be positive, got %d", c.Length)
+	}
+	if c.Ticks < 0 {
+		return fmt.Errorf("workload: tick span must be non-negative, got %d", c.Ticks)
+	}
+	return nil
+}
+
+// MaxAlpha bounds the skew exponents ValidateAlpha accepts; beyond it
+// the zipf CDF is numerically a point mass and the scenario degenerates.
+const MaxAlpha = 8.0
+
+// ValidateAlpha rejects skew exponents outside (0, MaxAlpha] (including
+// NaN). The generator structs treat a non-positive Alpha as "use the
+// default", so frontends that accept alpha from a user call this to
+// turn the silent fallback into an error.
+func ValidateAlpha(alpha float64) error {
+	if !(alpha > 0) || alpha > MaxAlpha {
+		return fmt.Errorf("workload: alpha must be in (0, %g], got %v", MaxAlpha, alpha)
+	}
+	return nil
+}
+
+// WithDefaults returns the config with bench-scale defaults filled into
+// zero fields — exactly the defaulting RunBench applies before
+// generating. Exported for frontends (internal/sweep) that must derive
+// the same fully-resolved scenario the bench runner will use.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // withDefaults fills zero fields with bench-scale defaults.
 func (c Config) withDefaults() Config {
@@ -55,13 +100,20 @@ type Generator interface {
 	Generate(cfg Config) *stream.Stream
 }
 
-// registry holds the default generator catalog in stable order.
+// registry holds the default generator catalog in stable order: the
+// five benign scenarios first, then the adversarial/drifting/replay
+// five added with the sweep engine.
 var registry = []Generator{
 	Zipf{Alpha: 1.1},
 	Uniform{},
 	Needle{},
 	Bursty{},
 	PermutedReplay{},
+	Drift{},
+	Adversarial{},
+	FlashCrowd{},
+	Diurnal{},
+	TraceReplay{},
 }
 
 // Generators returns the default catalog in stable order.

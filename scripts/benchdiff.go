@@ -8,7 +8,9 @@
 // running gsumd), and the BenchmarkDaemonIngest* transport family
 // (in-process ceiling vs JSON vs binary /v1/stream; the stream entry
 // is the acceptance gate keeping the wire transport within 2x of the
-// no-wire apply path) — taking the MINIMUM across repeated -count runs, the
+// no-wire apply path), and BenchmarkSweepCell (one serial smoke-matrix
+// cell end to end, the unit of work `gsum sweep` fans out per process)
+// — taking the MINIMUM across repeated -count runs, the
 // least noisy statistic on shared CI runners — and compares against the
 // committed baseline.
 //
@@ -18,7 +20,7 @@
 // .github/workflows/ci.yml does on every push; benchdiff lives in
 // scripts/, so `go run ./scripts` runs it from the repo root):
 //
-//	go test -run '^$' -bench '^Benchmark(Process|Window|Open|SpecFingerprint|Checkpoint|DaemonIngest)' -benchtime 3x -count 3 . | tee bench.txt
+//	go test -run '^$' -bench '^Benchmark(Process|Window|Open|SpecFingerprint|Checkpoint|DaemonIngest|Sweep)' -benchtime 3x -count 3 . | tee bench.txt
 //	go run ./scripts -baseline BENCH_baseline.json -current bench.txt
 //
 // Exit codes: 0 when every gated benchmark is within threshold, 1 on a
@@ -39,7 +41,7 @@
 // BenchmarkProcessWorkload/zipf).
 //
 // -prefix takes a comma-separated list of gated name prefixes (default
-// "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint,BenchmarkDaemonIngest");
+// "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint,BenchmarkDaemonIngest,BenchmarkSweep");
 // results matching none of them are ignored entirely.
 //
 // Refresh the baseline after an intentional performance change (this
@@ -118,7 +120,7 @@ func run() int {
 	current := flag.String("current", "", "path to `go test -bench` output")
 	baselinePath := flag.String("baseline", "", "path to the committed baseline JSON")
 	write := flag.String("write", "", "write a fresh baseline JSON to this path and exit")
-	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint,BenchmarkDaemonIngest",
+	prefix := flag.String("prefix", "BenchmarkProcess,BenchmarkWindow,BenchmarkOpen,BenchmarkSpecFingerprint,BenchmarkCheckpoint,BenchmarkDaemonIngest,BenchmarkSweep",
 		"comma-separated benchmark name prefixes to gate")
 	threshold := flag.Float64("threshold", 2.0, "fail when current > threshold * baseline")
 	flag.Parse()
