@@ -48,6 +48,15 @@
 // only (see internal/window for the expiry guarantees):
 //
 //	gsumd -backend window -f x^2 -window 8 -seed 42 -addr :7600
+//
+// Observability: every daemon serves GET /metrics (Prometheus text
+// format — ingest totals per transport, handler latencies, checkpoint
+// and membership health; see internal/metrics), GET /healthz (liveness,
+// always 200 while the process can answer), and GET /readyz (readiness:
+// 200 only after the checkpoint is restored and the listener is bound,
+// 503 again the moment a drain begins, so load balancers stop routing
+// before the daemon stops accepting). -pprof additionally mounts the
+// net/http/pprof endpoints under /debug/pprof/.
 package main
 
 import (
@@ -58,6 +67,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -125,6 +135,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	advertise := fs.String("advertise", "", "base URL this worker is reachable at, for -register (default http://<listen addr>)")
 	streamMaxFrame := fs.Int("stream-max-frame", 0, "max /v1/stream frame payload in bytes (0 = 8 MiB)")
 	streamIdle := fs.Duration("stream-idle", 0, "close a /v1/stream connection after this long without a frame (0 = 2m)")
+	pprofOn := fs.Bool("pprof", false, "serve the net/http/pprof profiling endpoints under /debug/pprof/ (off by default: profiles expose timing detail, keep them off untrusted networks)")
 	if code, ok := cliflag.Parse(fs, argv, stderr); !ok {
 		return code
 	}
@@ -226,8 +237,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// requests AND hijacked /v1/stream connections finish (up to
 	// drainTimeout each), then write the final checkpoint so an orderly
 	// restart loses nothing a client holds an ack for.
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -240,6 +262,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		_ = httpSrv.Shutdown(shCtx)
 	}()
 
+	// Ready only now: the checkpoint (if any) is restored, membership and
+	// checkpointing are running, and the listener is bound. /readyz flips
+	// to 200 here and back to 503 the moment the shutdown drain begins.
+	srv.SetReady(true)
 	fmt.Fprintf(stdout, "gsumd: backend=%s g=%s seed=%d fingerprint=%#x listening on %s\n",
 		*kind, *fname, *seed, srv.Spec().Fingerprint(), l.Addr())
 	err = serve(l, httpSrv)

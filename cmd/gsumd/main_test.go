@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -377,5 +378,90 @@ func TestRunHelp(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-h"}, &out, &errb); code != 0 {
 		t.Fatalf("-h exit %d, want 0", code)
+	}
+}
+
+// TestObservabilityEndpoints boots a real gsumd with -pprof and checks
+// the operational surface end to end: readiness flips on only after the
+// listen banner, liveness and metrics answer, and the profiling
+// endpoints exist exactly when the flag asks for them.
+func TestObservabilityEndpoints(t *testing.T) {
+	args := []string{"-addr", "127.0.0.1:0", "-backend", "onepass", "-f", "x^2",
+		"-seed", "7", "-pprof"}
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run(args, &out, &errb) }()
+	addr := listenAddrOf(t, &out)
+	base := "http://" + addr
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz = %d", got)
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("readyz after listen banner = %d, want 200", got)
+	}
+	if got := status("/metrics"); got != http.StatusOK {
+		t.Errorf("metrics = %d", got)
+	}
+	// gsumd_ready comes from the same gauge /readyz consults.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "gsumd_ready 1") {
+		t.Errorf("metrics scrape lacks gsumd_ready 1")
+	}
+	if got := status("/debug/pprof/cmdline"); got != http.StatusOK {
+		t.Errorf("pprof cmdline with -pprof = %d, want 200", got)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d, stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after SIGINT")
+	}
+
+	// Without the flag the profiling surface must not exist.
+	var out2, errb2 syncBuffer
+	done2 := make(chan int, 1)
+	go func() {
+		done2 <- run([]string{"-addr", "127.0.0.1:0", "-backend", "onepass", "-f", "x^2"}, &out2, &errb2)
+	}()
+	addr2 := listenAddrOf(t, &out2)
+	resp2, err := http.Get("http://" + addr2 + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Errorf("pprof served without -pprof (status %d)", resp2.StatusCode)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done2:
+	case <-time.After(15 * time.Second):
+		t.Fatal("second run did not drain after SIGINT")
 	}
 }

@@ -54,7 +54,16 @@ func (s *Server) checkpointBytes() ([]byte, error) {
 // bytes land in a temporary file in the same directory, are fsynced, and
 // only then renamed over path, so a crash mid-write leaves the previous
 // checkpoint intact and a reader never sees a torn file.
-func (s *Server) WriteCheckpoint(path string) error {
+func (s *Server) WriteCheckpoint(path string) (err error) {
+	start := time.Now()
+	defer func() {
+		s.obs.checkpointSeconds.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.obs.checkpointErr.Inc()
+		} else {
+			s.obs.checkpointOK.Inc()
+		}
+	}()
 	data, err := s.checkpointBytes()
 	if err != nil {
 		return err
@@ -79,6 +88,7 @@ func (s *Server) WriteCheckpoint(path string) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("daemon: checkpoint rename: %w", err)
 	}
+	s.obs.checkpointBytes.Set(float64(len(data)))
 	return nil
 }
 

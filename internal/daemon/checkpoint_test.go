@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -365,5 +366,97 @@ func TestCheckpointHeaderUsesSpecFingerprint(t *testing.T) {
 	}
 	if filepath.Base(CheckpointPath("/var/lib/gsumd")) != CheckpointName {
 		t.Error("CheckpointPath does not end in CheckpointName")
+	}
+}
+
+// TestRestoreWithTornTempFile simulates a crash mid-checkpoint: the
+// atomic-write protocol may leave a partial checkpoint.gsum.tmp-* file
+// in the state dir. Boot must restore the intact previous checkpoint,
+// never the torn temp — and with no real checkpoint at all, a torn temp
+// alone still means fresh start (os.ErrNotExist), not a corrupt-file
+// error.
+func TestRestoreWithTornTempFile(t *testing.T) {
+	writer, err := NewServer(onePassSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer.est.Update(7, 3)
+	dir := t.TempDir()
+	path := CheckpointPath(dir)
+	if err := writer.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crash artifact: a prefix of a checkpoint under the temp name
+	// pattern CreateTemp would have used, never renamed into place.
+	torn := filepath.Join(dir, CheckpointName+".tmp-123456")
+	if err := os.WriteFile(torn, good[:len(good)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewServer(onePassSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreCheckpoint(path); err != nil {
+		t.Fatalf("restore with a torn temp alongside: %v", err)
+	}
+	if got, want := restored.est.Estimate(), writer.est.Estimate(); got != want {
+		t.Errorf("restored estimate %v != writer's %v", got, want)
+	}
+
+	// Fresh start: only the torn temp exists.
+	freshDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(freshDir, CheckpointName+".tmp-9"), good[:8], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewServer(onePassSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreCheckpoint(CheckpointPath(freshDir)); !os.IsNotExist(err) {
+		t.Fatalf("torn temp without a checkpoint: got %v, want os.ErrNotExist", err)
+	}
+	// And the next successful write replaces the checkpoint atomically
+	// regardless of the leftover temp.
+	if err := writer.WriteCheckpoint(path); err != nil {
+		t.Fatalf("write over a dir holding a torn temp: %v", err)
+	}
+}
+
+// TestRestoreDriftMessageNamesBothFingerprints pins the operator-facing
+// content of the drift refusal: the error must name the checkpoint's
+// path and BOTH fingerprints (the checkpoint's and the daemon's), so a
+// drifted -seed or -n is diagnosable from the one log line it produces.
+func TestRestoreDriftMessageNamesBothFingerprints(t *testing.T) {
+	writer, err := NewServer(onePassSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CheckpointPath(t.TempDir())
+	if err := writer.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := NewServer(onePassSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = drifted.RestoreCheckpoint(path)
+	if err == nil {
+		t.Fatal("drifted checkpoint was restored")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		path,
+		fmt.Sprintf("%#x", writer.Spec().Fingerprint()),
+		fmt.Sprintf("%#x", drifted.Spec().Fingerprint()),
+		"different seed or configuration",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("drift error %q lacks %q", msg, want)
+		}
 	}
 }

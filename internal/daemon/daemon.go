@@ -8,6 +8,8 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/stream"
@@ -37,6 +39,12 @@ type Server struct {
 	// streams tracks live /v1/stream connections (stream.go). It has its
 	// own locking; DrainStreams winds them down at shutdown.
 	streams streamState
+
+	// obs is the observability surface (observe.go): the /metrics
+	// registry plus the readiness bits behind /readyz.
+	obs      *serverMetrics
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
 // NewServer validates the spec through the registry and builds the
@@ -59,6 +67,7 @@ func NewServer(spec backend.Spec) (*Server, error) {
 	}
 	s := &Server{spec: n, fp: n.Fingerprint(), est: est}
 	s.members = newMembership(s)
+	s.obs = newServerMetrics(s)
 	return s, nil
 }
 
@@ -79,6 +88,7 @@ func (s *Server) IngestBatch(batch []stream.Update) error {
 	s.est.UpdateBatch(batch)
 	s.ingests += uint64(len(batch))
 	s.mu.Unlock()
+	s.obs.ingested(transportInProcess, len(batch))
 	return nil
 }
 
@@ -162,9 +172,9 @@ func u64p(v uint64) *uint64   { return &v }
 // Handler returns the daemon's HTTP surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/metrics", s.obs.reg)
 	mux.HandleFunc("/v1/config", s.handleConfig)
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/stream", s.handleStream)
@@ -282,6 +292,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingests += uint64(len(batch))
 	total := s.ingests
 	s.mu.Unlock()
+	s.obs.ingested(transportJSON, len(batch))
 	writeJSON(w, http.StatusOK, map[string]uint64{"ingested": uint64(len(batch)), "total": total})
 }
 
@@ -319,9 +330,11 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("snapshot exceeds %d bytes", maxBodyBytes))
 		return
 	}
+	start := time.Now()
 	s.mu.Lock()
 	err = s.est.UnmarshalBinary(data)
 	s.mu.Unlock()
+	s.obs.mergeSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		// A fingerprint/dimension mismatch is the client's fault: it shipped
 		// a snapshot from a differently-configured daemon.
@@ -347,6 +360,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 			"daemon: kind %q summarizes the whole stream and has no tick clock; use the window kind", s.spec.Kind))
 		return
 	}
+	start := time.Now()
 	s.mu.Lock()
 	// Arbitrarily large jumps are safe: window.Advance fast-forwards
 	// across spans that expire everything instead of replaying each
@@ -354,6 +368,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	// stall the daemon under its state lock.
 	now := win.Advance(req.Tick)
 	s.mu.Unlock()
+	s.obs.advanceSeconds.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, map[string]uint64{"tick": now})
 }
 
@@ -367,9 +382,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
+	start := time.Now()
 	s.mu.Lock()
 	resp, err := s.estimate(r.URL.Query())
 	s.mu.Unlock()
+	s.obs.estimateSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

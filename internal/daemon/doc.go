@@ -40,7 +40,20 @@
 //	GET  /v1/members   the membership table: each worker's address,
 //	                   liveness, consecutive heartbeat misses, and
 //	                   last-seen/last-pull timestamps.
-//	GET  /healthz      liveness.
+//	GET  /healthz      liveness: 200 whenever the process can answer.
+//	GET  /readyz       readiness: 200 only after the serving frontend
+//	                   calls SetReady(true) (restore done, listener
+//	                   bound) and 503 again once a drain begins — the
+//	                   signal a load balancer routes on.
+//	GET  /metrics      the full registry in Prometheus text format
+//	                   (internal/metrics): ingest totals and batch sizes
+//	                   per transport, merge/estimate/advance latency
+//	                   histograms, checkpoint results, stream
+//	                   connection/ack counters, membership gauges and
+//	                   transitions, and scrape-time gauges (estimate,
+//	                   space, window clock, goroutines, heap). Hot-path
+//	                   instruments are lock-free atomics; expensive
+//	                   values are computed only at scrape time.
 //
 // The deployment topology mirrors the cmd/server + cmd/worker split of
 // distributed work-queue systems: workers sit close to the traffic and

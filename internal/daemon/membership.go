@@ -50,10 +50,13 @@ type MemberInfo struct {
 	HasSnapshot bool `json:"has_snapshot"`
 }
 
-// member pairs the served record with the worker's last good snapshot.
+// member pairs the served record with the worker's last good snapshot
+// and the ingest total the worker reported alongside it (the
+// gsumd_aggregate_ingested_updates gauge sums these at each rebuild).
 type member struct {
-	info MemberInfo
-	snap []byte
+	info     MemberInfo
+	snap     []byte
+	ingested uint64
 }
 
 // MembershipConfig parameterizes the coordinator's heartbeat and
@@ -136,10 +139,11 @@ func (m *Membership) Add(addr string) error {
 		return fmt.Errorf("daemon: register: %q is not an absolute base URL", addr)
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, ok := m.members[addr]; !ok {
 		m.members[addr] = &member{info: MemberInfo{Addr: addr, Alive: true}}
 	}
+	m.mu.Unlock()
+	m.updateGauges()
 	return nil
 }
 
@@ -226,6 +230,7 @@ func (m *Membership) ProbeAll() {
 		if err == nil {
 			if !mem.info.Alive {
 				cfg.Logf("membership: worker %s is back", addr)
+				m.srv.obs.memberUp.Inc()
 			}
 			mem.info.Alive = true
 			mem.info.Misses = 0
@@ -236,10 +241,26 @@ func (m *Membership) ProbeAll() {
 				mem.info.Alive = false
 				cfg.Logf("membership: worker %s marked down after %d misses (last: %v)",
 					addr, mem.info.Misses, err)
+				m.srv.obs.memberDown.Inc()
 			}
 		}
 		m.mu.Unlock()
 	}
+	m.updateGauges()
+}
+
+// updateGauges refreshes the membership size gauges from the registry.
+func (m *Membership) updateGauges() {
+	m.mu.Lock()
+	total, alive := len(m.members), 0
+	for _, mem := range m.members {
+		if mem.info.Alive {
+			alive++
+		}
+	}
+	m.mu.Unlock()
+	m.srv.obs.membersTotal.Set(float64(total))
+	m.srv.obs.membersAlive.Set(float64(alive))
 }
 
 // PullAll fetches a snapshot from every live member (with per-request
@@ -251,7 +272,14 @@ func (m *Membership) ProbeAll() {
 // simply re-read. Down members contribute their last-known snapshot, so
 // a crashed worker's checkpointed stream prefix stays in the estimate
 // while it restarts.
-func (m *Membership) PullAll() error {
+func (m *Membership) PullAll() (err error) {
+	defer func() {
+		if err != nil {
+			m.srv.obs.pullErr.Inc()
+		} else {
+			m.srv.obs.pullOK.Inc()
+		}
+	}()
 	cfg := m.cfg
 	for _, addr := range m.addrs() {
 		m.mu.Lock()
@@ -261,11 +289,12 @@ func (m *Membership) PullAll() error {
 		if !alive {
 			continue
 		}
-		snap, err := m.fetchSnapshot(addr)
+		snap, ingested, err := m.fetchSnapshot(addr)
 		m.mu.Lock()
 		if mem, ok := m.members[addr]; ok {
 			if err == nil {
 				mem.snap = snap
+				mem.ingested = ingested
 				mem.info.HasSnapshot = true
 				mem.info.LastPull = time.Now()
 			} else {
@@ -276,22 +305,40 @@ func (m *Membership) PullAll() error {
 	}
 	m.mu.Lock()
 	snaps := make([][]byte, 0, len(m.members))
+	var ingested uint64
 	for _, mem := range m.members {
 		if mem.info.HasSnapshot {
 			snaps = append(snaps, mem.snap)
+			ingested += mem.ingested
 		}
 	}
 	m.mu.Unlock()
 	if len(snaps) == 0 {
 		return nil
 	}
-	return m.srv.rebuildFrom(snaps)
+	start := time.Now()
+	err = m.srv.rebuildFrom(snaps)
+	m.srv.obs.rebuildSeconds.Observe(time.Since(start).Seconds())
+	if err == nil {
+		// The gauge moves only on a successful rebuild, so it reports
+		// what is actually inside the aggregate. Worker ingest counters
+		// are monotone, and a rebuild folds every retained snapshot
+		// exactly once — so this gauge is monotone too, and the soak
+		// harness asserts exactly that from the scrape.
+		m.srv.obs.aggregateIngested.Set(float64(ingested))
+	}
+	return err
 }
 
 // fetchSnapshot pulls one worker's snapshot with retries: each attempt
 // has its own deadline, and the delay between attempts doubles from
-// cfg.Backoff.
-func (m *Membership) fetchSnapshot(addr string) ([]byte, error) {
+// cfg.Backoff. Alongside the snapshot it reads the worker's ingest
+// total from /v1/config — the per-member figure behind the
+// gsumd_aggregate_ingested_updates gauge. The config read is taken
+// BEFORE the snapshot, so the recorded total never exceeds what the
+// snapshot contains and the gauge stays a lower bound on aggregated
+// updates (and therefore monotone).
+func (m *Membership) fetchSnapshot(addr string) ([]byte, uint64, error) {
 	cfg := m.cfg
 	c := m.client(addr)
 	var lastErr error
@@ -302,14 +349,18 @@ func (m *Membership) fetchSnapshot(addr string) ([]byte, error) {
 			delay *= 2
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
-		snap, err := c.SnapshotContext(ctx)
+		info, err := c.ConfigContext(ctx)
+		var snap []byte
+		if err == nil {
+			snap, err = c.SnapshotContext(ctx)
+		}
 		cancel()
 		if err == nil {
-			return snap, nil
+			return snap, info.Ingested, nil
 		}
 		lastErr = err
 	}
-	return nil, lastErr
+	return nil, 0, lastErr
 }
 
 // addrs snapshots the member addresses so loops iterate without holding

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -55,6 +56,17 @@ type PusherConfig struct {
 	// while frames are in flight (0 = 1 minute). A daemon that stops
 	// acking surfaces as an error instead of a hang.
 	AckTimeout time.Duration
+	// Metrics, when non-nil, registers this Pusher's client-side
+	// instruments (queue depth, in-flight frames, session counters,
+	// flushes by cause — all gsum_pusher_*) against the given registry.
+	// The values are read from the session state at scrape time, so the
+	// push hot path gains no extra work. Labels distinguishes several
+	// Pushers sharing one registry; registering two with an identical
+	// label set panics (metrics.Registry duplicate detection).
+	Metrics *metrics.Registry
+	// Labels is the static label set for the instruments registered via
+	// Metrics (e.g. one worker="..." label per push session).
+	Labels []metrics.Label
 }
 
 func (cfg PusherConfig) withDefaults() PusherConfig {
@@ -90,6 +102,11 @@ type PusherStats struct {
 	// Total is the daemon's ingest counter from the last ack (stream
 	// transport only).
 	Total uint64
+	// FlushSize / FlushAge / FlushRequest / FlushClose count why each
+	// frame left the queue: the batch filled (size), the FlushEvery
+	// timer fired on a partial batch (age), an explicit Flush call
+	// (request), or the final drain inside Close (close).
+	FlushSize, FlushAge, FlushRequest, FlushClose uint64
 }
 
 // Pusher is an asynchronous, batching push session against one daemon:
@@ -139,6 +156,9 @@ func (c *Client) NewPusher(ctx context.Context, cfg PusherConfig) (*Pusher, erro
 	p := &Pusher{c: c, cfg: cfg, ctx: ctx,
 		pending: make(map[uint64]int), workerEnd: make(chan struct{})}
 	p.cond = sync.NewCond(&p.mu)
+	if cfg.Metrics != nil {
+		p.registerMetrics(cfg.Metrics, cfg.Labels)
+	}
 	if cfg.Stream {
 		info, err := c.ConfigContext(ctx)
 		if err != nil {
@@ -165,6 +185,54 @@ func (c *Client) NewPusher(ctx context.Context, cfg PusherConfig) (*Pusher, erro
 		}()
 	}
 	return p, nil
+}
+
+// registerMetrics mounts the session's client-side instruments. Every
+// value is read from the session state under p.mu at scrape time —
+// GaugeFuncs, so Push/worker gain no per-update instrument work.
+func (p *Pusher) registerMetrics(reg *metrics.Registry, labels []metrics.Label) {
+	read := func(f func() float64) func() float64 {
+		return func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return f()
+		}
+	}
+	reg.GaugeFunc("gsum_pusher_queue_depth",
+		"updates waiting in the Pusher's bounded buffer", read(func() float64 {
+			return float64(len(p.buf))
+		}), labels...)
+	reg.GaugeFunc("gsum_pusher_inflight_frames",
+		"stream frames sent but not yet acked", read(func() float64 {
+			return float64(len(p.pending))
+		}), labels...)
+	reg.GaugeFunc("gsum_pusher_enqueued_updates",
+		"updates accepted by Push this session", read(func() float64 {
+			return float64(p.stats.Enqueued)
+		}), labels...)
+	reg.GaugeFunc("gsum_pusher_acked_updates",
+		"updates the daemon has acknowledged applying this session", read(func() float64 {
+			return float64(p.stats.Acked)
+		}), labels...)
+	reg.GaugeFunc("gsum_pusher_frames",
+		"frames/requests sent this session", read(func() float64 {
+			return float64(p.stats.Frames)
+		}), labels...)
+	for _, c := range []struct {
+		cause string
+		field *uint64
+	}{
+		{"size", &p.stats.FlushSize},
+		{"age", &p.stats.FlushAge},
+		{"request", &p.stats.FlushRequest},
+		{"close", &p.stats.FlushClose},
+	} {
+		field := c.field
+		reg.GaugeFunc("gsum_pusher_flushes",
+			"batches that left the queue, by cause (size, age, request, close)",
+			read(func() float64 { return float64(*field) }),
+			append(append([]metrics.Label(nil), labels...), metrics.Label{Key: "cause", Value: c.cause})...)
+	}
 }
 
 // fail records the first error and wakes everyone.
@@ -295,6 +363,19 @@ func (p *Pusher) worker() {
 		if p.err != nil || (p.closed && len(p.buf) == 0) {
 			p.mu.Unlock()
 			return
+		}
+		// Classify why this batch is leaving the queue, for the
+		// flushes-by-cause stats: a full batch wins over any pending
+		// flush request, close over request, request over the age timer.
+		switch {
+		case len(p.buf) >= p.cfg.MaxBatch:
+			p.stats.FlushSize++
+		case p.closed:
+			p.stats.FlushClose++
+		case p.flushReq:
+			p.stats.FlushRequest++
+		default:
+			p.stats.FlushAge++
 		}
 		n := len(p.buf)
 		if n > p.cfg.MaxBatch {

@@ -109,6 +109,7 @@ func (s *Server) SetStreamLimits(maxFrameBytes int, idleTimeout time.Duration) {
 // hijacked connections) and before the final checkpoint, so every acked
 // frame is inside it.
 func (s *Server) DrainStreams(ctx context.Context) error {
+	s.draining.Store(true) // /readyz answers 503 from here on
 	st := &s.streams
 	st.mu.Lock()
 	st.draining = true
@@ -162,6 +163,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		_ = conn.Close()
 		return
 	}
+	s.obs.streamConns.Inc()
+	s.obs.streamConnsTotal.Inc()
 	// The http.Server's Read/WriteTimeout deadlines survive the hijack
 	// and would poison a long-lived stream; the loop manages its own.
 	_ = conn.SetDeadline(time.Time{})
@@ -180,6 +183,7 @@ func (s *Server) streamLoop(conn net.Conn, bufrw *bufio.ReadWriter) {
 	st := &s.streams
 	defer st.remove(conn)
 	defer conn.Close()
+	defer s.obs.streamConns.Dec()
 
 	var lastSeq, lastTotal uint64
 	sendAck := func(ack wire.IngestAck) error {
@@ -193,11 +197,23 @@ func (s *Server) streamLoop(conn net.Conn, bufrw *bufio.ReadWriter) {
 		// Best effort: tell the client why before closing. The ack
 		// carries the last applied frame so the client knows exactly
 		// what survives.
+		s.obs.streamRejects.Inc()
 		_ = sendAck(wire.IngestAck{Seq: lastSeq, Total: lastTotal,
 			Status: wire.IngestAckError, Msg: err.Error()})
 	}
 
 	for {
+		// A drain must end the session after the frame in hand even if
+		// the client keeps sending: the read-deadline nudge only wakes a
+		// blocked read, so a loop that stays busy checks the flag here.
+		st.mu.Lock()
+		draining := st.draining
+		st.mu.Unlock()
+		if draining {
+			_ = sendAck(wire.IngestAck{Seq: lastSeq, Total: lastTotal,
+				Status: wire.IngestAckDraining, Msg: "daemon draining"})
+			return
+		}
 		_ = conn.SetReadDeadline(time.Now().Add(st.idle()))
 		payload, err := wire.ReadFrame(bufrw, st.frameCap())
 		if err != nil {
@@ -244,9 +260,12 @@ func (s *Server) streamLoop(conn net.Conn, bufrw *bufio.ReadWriter) {
 		s.ingests += uint64(len(batch))
 		total := s.ingests
 		s.mu.Unlock()
+		s.obs.ingested(transportStream, len(batch))
 		lastSeq, lastTotal = seq, total
 		if err := sendAck(wire.IngestAck{Seq: seq, Total: total, Status: wire.IngestAckOK}); err != nil {
 			return // client went away; it will redeliver unacked frames
 		}
+		s.obs.ackedFrames.Inc()
+		s.obs.ackedUpdates.Add(uint64(len(batch)))
 	}
 }

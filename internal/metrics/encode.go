@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// The Prometheus text exposition format (version 0.0.4): one HELP and
+// TYPE line per family, then one sample line per series — histograms
+// expand into cumulative _bucket lines plus _sum and _count. Families
+// appear in registration order, which keeps scrapes diffable.
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatLabels renders a label set as {k="v",...}, empty for none.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel renders a label set with one extra pair appended (the le
+// bucket bound of a histogram).
+func withLabel(labels []Label, key, value string) string {
+	return formatLabels(append(append([]Label(nil), labels...), Label{key, value}))
+}
+
+// formatValue renders a sample value: shortest round-trip float, with
+// the format's spellings for the specials.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes every registered family to w in the text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + strings.ReplaceAll(f.help, "\n", " ") + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.typ + "\n")
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				bw.WriteString(f.name + formatLabels(s.labels) + " " +
+					strconv.FormatUint(s.counter.Value(), 10) + "\n")
+			case s.gauge != nil:
+				bw.WriteString(f.name + formatLabels(s.labels) + " " +
+					formatValue(s.gauge.Value()) + "\n")
+			case s.fn != nil:
+				bw.WriteString(f.name + formatLabels(s.labels) + " " +
+					formatValue(s.fn()) + "\n")
+			case s.hist != nil:
+				h := s.hist
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					bw.WriteString(f.name + "_bucket" + withLabel(s.labels, "le", formatValue(bound)) +
+						" " + strconv.FormatUint(cum, 10) + "\n")
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				bw.WriteString(f.name + "_bucket" + withLabel(s.labels, "le", "+Inf") +
+					" " + strconv.FormatUint(cum, 10) + "\n")
+				bw.WriteString(f.name + "_sum" + formatLabels(s.labels) + " " + formatValue(h.Sum()) + "\n")
+				bw.WriteString(f.name + "_count" + formatLabels(s.labels) + " " + strconv.FormatUint(cum, 10) + "\n")
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ServeHTTP makes a Registry mountable as the /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series: a metric name, its label set (sorted by
+// key), and the sample value. Histogram expansions parse as ordinary
+// samples (name_bucket with an le label, name_sum, name_count).
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Scrape is one parsed /metrics payload, with lookup helpers. It is the
+// soak harness's view of a daemon: every invariant there is asserted
+// against a Scrape, never against daemon internals.
+type Scrape struct {
+	Samples []Sample
+}
+
+// Parse reads a text-exposition payload (as written by
+// WritePrometheus; comment and empty lines are skipped).
+func Parse(r io.Reader) (*Scrape, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	out := &Scrape{}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineno, err)
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses `name{k="v",...} value` (labels optional).
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++ // skip the escaped byte
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	v, err := parseValue(strings.TrimSpace(rest))
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	sort.Slice(s.Labels, func(i, j int) bool { return s.Labels[i].Key < s.Labels[j].Key })
+	return s, nil
+}
+
+func parseLabels(body string) ([]Label, error) {
+	var labels []Label
+	for len(body) > 0 {
+		eq := strings.Index(body, "=\"")
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label %q", body)
+		}
+		key := strings.TrimPrefix(strings.TrimSpace(body[:eq]), ",")
+		key = strings.TrimSpace(key)
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i == len(rest) {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		body = rest[i+1:]
+	}
+	return labels, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// matches reports whether the sample carries every given label (it may
+// carry more, e.g. a histogram's le).
+func (s Sample) matches(labels []Label) bool {
+	for _, want := range labels {
+		found := false
+		for _, have := range s.Labels {
+			if have == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the sample for name whose label set includes every
+// given label, and whether exactly such a sample exists (false on zero
+// or several matches).
+func (sc *Scrape) Value(name string, labels ...Label) (float64, bool) {
+	var v float64
+	n := 0
+	for _, s := range sc.Samples {
+		if s.Name == name && s.matches(labels) {
+			v = s.Value
+			n++
+		}
+	}
+	return v, n == 1
+}
+
+// Sum adds every sample of name matching the given labels — the idiom
+// for collapsing a labeled family (e.g. ingest counters across
+// transports) into one total.
+func (sc *Scrape) Sum(name string, labels ...Label) float64 {
+	var v float64
+	for _, s := range sc.Samples {
+		if s.Name == name && s.matches(labels) {
+			v += s.Value
+		}
+	}
+	return v
+}
+
+// Has reports whether any sample of name matches the labels.
+func (sc *Scrape) Has(name string, labels ...Label) bool {
+	for _, s := range sc.Samples {
+		if s.Name == name && s.matches(labels) {
+			return true
+		}
+	}
+	return false
+}
