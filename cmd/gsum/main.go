@@ -236,8 +236,32 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	ticks := fs.Int("ticks", workload.DefaultTicks, "tick span of the generated stream (windowed mode)")
 	windowk := fs.Int("windowk", 0, "histogram buckets per span class: higher = fewer stale ticks, more space (0 = default 2)")
 	trace := fs.String("trace", "", "CSV file for the trace workload (item[,delta] per line; default: embedded trace)")
+	configPath := fs.String("config", "", "path to a Spec JSON file (the shape gsumd serves at /v1/config); sets the estimator side (-f, -eps, -window, -windowk, -workers and the sketch seed) so a bench provably matches a deployed daemon fleet")
 	if code, ok := cliflag.Parse(fs, args, stderr); !ok {
 		return code
+	}
+	// A Spec file pins the estimator configuration; the workload side
+	// (-workload, -n, -len, -seed for the stream) stays on flags.
+	var fileSpec *universal.Spec
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "gsum bench: -config: %v\n", err)
+			return 2
+		}
+		sp, err := universal.ParseSpec(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "gsum bench: -config %s: %v\n", *configPath, err)
+			return 2
+		}
+		fileSpec = &sp
+		*fname = sp.G
+		*eps = sp.Options.Eps
+		*win = int(sp.Window.W)
+		*windowk = sp.Window.K
+		if sp.Workers != 0 {
+			*workers = sp.Workers
+		}
 	}
 	if *win < 0 || *ticks < 1 {
 		fmt.Fprintln(stderr, "gsum bench: -window must be >= 0 and -ticks >= 1")
@@ -316,11 +340,24 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		gen = tr
 	}
 
+	opts := universal.Options{M: 1 << 10, Eps: *eps, Seed: *seed * 7, Lambda: 1.0 / 16}
+	if fileSpec != nil {
+		// The file's resolved Options ARE the estimator configuration —
+		// including the sketch seed — so the bench estimator fingerprints
+		// identically to a daemon booted from the same file. Only the
+		// domain N tracks the generated stream.
+		opts = fileSpec.Options
+		if *wname == "adversarial" {
+			// The adversarial scenario aims at the sketch seed; keep it
+			// aimed at the one the file actually configures.
+			gen = workload.Adversarial{SketchSeed: opts.Seed}
+		}
+	}
 	res, err := workload.RunBench(workload.BenchSpec{
 		Generator: gen,
 		Cfg:       cfg,
 		G:         g,
-		Opts:      universal.Options{M: 1 << 10, Eps: *eps, Seed: *seed * 7, Lambda: 1.0 / 16},
+		Opts:      opts,
 		Backend:   *backend,
 		Workers:   *workers,
 		Transport: *transport,

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -332,10 +335,112 @@ func TestBenchBackendListPrintsRegistry(t *testing.T) {
 		}
 	}
 	// The ingestion topologies stay documented alongside.
-	for _, topo := range []string{"serial", "parallel", "daemon"} {
+	for _, topo := range []string{"serial", "parallel", "sharded", "daemon"} {
 		if !strings.Contains(stdout, topo) {
 			t.Errorf("list output missing topology %q:\n%s", topo, stdout)
 		}
+	}
+	// The kind lines come straight from the sorted registry, in order —
+	// the same golden shape gsumd's -backend list prints.
+	var lines []string
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "  ") {
+			lines = append(lines, line)
+		}
+	}
+	kinds := universal.Kinds()
+	if !sort.StringsAreSorted(kinds) {
+		t.Fatal("Kinds() is not sorted")
+	}
+	if len(lines) != len(kinds) {
+		t.Fatalf("%d kind lines for %d kinds:\n%s", len(lines), len(kinds), stdout)
+	}
+	for i, k := range kinds {
+		want := fmt.Sprintf("  %-12s %s", k, universal.Describe(universal.Kind(k)))
+		if lines[i] != want {
+			t.Errorf("kind line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+}
+
+// TestBenchConfigFileMatchesFlags: `gsum bench -config spec.json` takes
+// the estimator side from the file; a file that pins exactly the
+// flag-derived configuration must reproduce the flag run's estimate bit
+// for bit (the round trip through ParseSpec changes nothing).
+func TestBenchConfigFileMatchesFlags(t *testing.T) {
+	extract := func(stdout string) string {
+		for _, line := range strings.Split(stdout, "\n") {
+			if strings.HasPrefix(line, "estimate ") {
+				return strings.Fields(line)[1]
+			}
+		}
+		t.Fatalf("no estimate line in %q", stdout)
+		return ""
+	}
+	args := []string{"bench", "-workload", "zipf", "-n", "4096", "-items", "128", "-len", "10000", "-seed", "3"}
+	flagOut, stderr, code := gsum(t, args...)
+	if code != 0 {
+		t.Fatalf("flag run: exit %d, stderr %q", code, stderr)
+	}
+
+	// The Spec a daemon fleet would share: the same configuration the
+	// flags above derive (sketch seed = stream seed * 7).
+	spec := universal.Spec{
+		Kind: universal.KindOnePass, G: "x^2",
+		Options: universal.Options{N: 4096, M: 1 << 10, Eps: 0.25, Seed: 21, Lambda: 1.0 / 16},
+	}
+	blob, err := spec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Contradictory -f and -eps flags prove the file wins.
+	fileOut, stderr, code := gsum(t, append(args, "-config", path, "-f", "x^3", "-eps", "0.5")...)
+	if code != 0 {
+		t.Fatalf("config run: exit %d, stderr %q", code, stderr)
+	}
+	if fe, we := extract(fileOut), extract(flagOut); fe != we {
+		t.Fatalf("config-file estimate %s != flag estimate %s", fe, we)
+	}
+	if !strings.Contains(fileOut, "g = x^2") {
+		t.Errorf("config run did not use the file's function:\n%s", fileOut)
+	}
+
+	_, stderr, code = gsum(t, "bench", "-config", filepath.Join(t.TempDir(), "absent.json"))
+	if code != 2 {
+		t.Fatalf("missing config: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+}
+
+// TestBenchShardedBackend: the sharded hot path is reachable from the
+// CLI and prints the same estimate as serial.
+func TestBenchShardedBackend(t *testing.T) {
+	extract := func(stdout string) string {
+		for _, line := range strings.Split(stdout, "\n") {
+			if strings.HasPrefix(line, "estimate ") {
+				return strings.Fields(line)[1]
+			}
+		}
+		t.Fatalf("no estimate line in %q", stdout)
+		return ""
+	}
+	args := []string{"bench", "-workload", "zipf", "-n", "4096", "-items", "128", "-len", "10000", "-seed", "3"}
+	serialOut, stderr, code := gsum(t, append(args, "-backend", "serial")...)
+	if code != 0 {
+		t.Fatalf("serial: exit %d, stderr %q", code, stderr)
+	}
+	shOut, stderr, code := gsum(t, append(args, "-backend", "sharded", "-workers", "4")...)
+	if code != 0 {
+		t.Fatalf("sharded: exit %d, stderr %q", code, stderr)
+	}
+	if se, he := extract(serialOut), extract(shOut); se != he {
+		t.Fatalf("sharded estimate %s != serial %s", he, se)
+	}
+	if !strings.Contains(shOut, "backend sharded") {
+		t.Errorf("output does not name the sharded backend:\n%s", shOut)
 	}
 }
 

@@ -8,7 +8,13 @@
 // The flags assemble a backend Spec; the registry validates it and
 // builds the estimator, so gsumd itself contains no per-kind code and a
 // new registry entry is immediately servable. GET /v1/config serves the
-// normalized Spec and its fingerprint.
+// normalized Spec and its fingerprint. Alternatively `-config spec.json`
+// loads the whole Spec from a JSON file — the same shape /v1/config
+// serves — overriding the individual flags; since merging daemons must
+// agree on the Spec bit for bit, shipping one file to every node is the
+// drift-proof way to configure a fleet:
+//
+//	gsumd -config spec.json -addr :7600
 //
 // Deployment topology: run one gsumd per traffic shard (workers) and one
 // for queries (coordinator), all with IDENTICAL flags except -addr. Push
@@ -135,6 +141,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	advertise := fs.String("advertise", "", "base URL this worker is reachable at, for -register (default http://<listen addr>)")
 	streamMaxFrame := fs.Int("stream-max-frame", 0, "max /v1/stream frame payload in bytes (0 = 8 MiB)")
 	streamIdle := fs.Duration("stream-idle", 0, "close a /v1/stream connection after this long without a frame (0 = 2m)")
+	configPath := fs.String("config", "", "path to a Spec JSON file (the format GET /v1/config serves); overrides every estimator flag, so a fleet can share one artifact instead of matching flag lists")
 	pprofOn := fs.Bool("pprof", false, "serve the net/http/pprof profiling endpoints under /debug/pprof/ (off by default: profiles expose timing detail, keep them off untrusted networks)")
 	if code, ok := cliflag.Parse(fs, argv, stderr); !ok {
 		return code
@@ -151,6 +158,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			Lambda: *lambda, Seed: *seed, Envelope: *envelope},
 		Window: window.Config{W: *win, K: *wink},
 		Rows:   *rows, Buckets: *buckets, TopK: *topk,
+	}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "gsumd: -config: %v\n", err)
+			return 1
+		}
+		spec, err = backend.ParseSpec(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "gsumd: -config %s: %v\n", *configPath, err)
+			return 1
+		}
+		// Echo the resolved identity so the startup log still answers
+		// "what is this daemon running" without opening the file.
+		*kind, *fname, *seed = string(spec.Kind), spec.G, spec.Options.Seed
 	}
 	srv, err := daemon.NewServer(spec)
 	if err != nil {

@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -91,6 +93,93 @@ func TestBackendListPrintsRegistry(t *testing.T) {
 		if !strings.Contains(out.String(), kind) {
 			t.Errorf("list output missing registered kind %q:\n%s", kind, out.String())
 		}
+	}
+}
+
+// TestBackendListIsSorted pins the listing order: the registry returns
+// kinds sorted, and the printed lines follow it exactly — including the
+// sharded kind — so the output is reproducible for docs and scripts.
+func TestBackendListIsSorted(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-backend", "list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if lines[0] != "registered backend kinds:" {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+	kinds := backend.Kinds()
+	if !sort.StringsAreSorted(kinds) {
+		t.Fatal("backend.Kinds() is not sorted")
+	}
+	if len(lines)-1 != len(kinds) {
+		t.Fatalf("%d listing lines for %d kinds:\n%s", len(lines)-1, len(kinds), out.String())
+	}
+	sawSharded := false
+	for i, k := range kinds {
+		want := fmt.Sprintf("  %-12s %s", k, backend.Describe(backend.Kind(k)))
+		if lines[i+1] != want {
+			t.Errorf("line %d = %q, want %q", i+1, lines[i+1], want)
+		}
+		if k == "sharded" {
+			sawSharded = true
+		}
+	}
+	if !sawSharded {
+		t.Error("sharded kind missing from the registry listing")
+	}
+}
+
+// TestRunConfigFile: `-config spec.json` loads the whole Spec from the
+// file — the same JSON /v1/config serves — and the daemon boots with
+// that exact configuration (round trip verified via the fingerprint in
+// the listen banner).
+func TestRunConfigFile(t *testing.T) {
+	spec := backend.Spec{
+		Kind: backend.KindSharded, G: "x^2", Workers: 2,
+		Options: core.Options{N: 1 << 10, M: 1 << 8, Eps: 0.25, Seed: 99, Lambda: 1.0 / 16},
+	}
+	blob, err := spec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stubServe(t)
+	var out, errb bytes.Buffer
+	// The flags say onepass with a different seed; the file must win.
+	code := run([]string{"-addr", "127.0.0.1:0", "-backend", "onepass", "-seed", "1", "-config", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	want := fmt.Sprintf("backend=sharded g=x^2 seed=99 fingerprint=%#x", norm.Fingerprint())
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("banner missing %q:\n%s", want, out.String())
+	}
+}
+
+func TestRunConfigFileErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-config", filepath.Join(t.TempDir(), "absent.json")}, &out, &errb); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-config", bad}, &out, &errb); code != 1 {
+		t.Fatalf("bad JSON: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), bad) {
+		t.Errorf("stderr %q does not name the bad file", errb.String())
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/heavy"
+	"repro/internal/hotpath"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/util"
@@ -105,6 +106,29 @@ func init() {
 				return nil, err
 			}
 			return core.NewParallel(g, s.Options, s.Workers), nil
+		},
+	})
+	register(&builder{
+		kind:     KindSharded,
+		describe: "one-pass estimator behind the lock-free hot path (hash-partitioned per-core shards, MPSC rings)",
+		needsG:   true,
+		open: func(s Spec) (Estimator, error) {
+			g, err := CatalogFunc(s.G)
+			if err != nil {
+				return nil, err
+			}
+			// Every shard comes from the same normalized Spec, so the
+			// factory hands out identically-seeded estimators — the seed
+			// discipline hotpath's bit-identity contract requires.
+			return hotpath.New(hotpath.Config{
+				Shards: s.Workers,
+				NewShard: func() (hotpath.Shard, error) {
+					return core.NewOnePass(g, s.Options), nil
+				},
+				Merge: func(dst, src hotpath.Shard) error {
+					return dst.(*core.OnePassEstimator).Merge(src.(*core.OnePassEstimator))
+				},
+			})
 		},
 	})
 	register(&builder{
@@ -244,6 +268,10 @@ func Process(est Estimator, s *stream.Stream) error {
 		return err
 	case *core.ParallelEstimator:
 		return e.Process(s)
+	case *hotpath.ShardedEstimator:
+		// The ring-fed concurrent path; shard-by-hash keeps the merged
+		// result independent of scheduling (see internal/hotpath).
+		return e.Process(s.Updates())
 	default:
 		engine.Ingest(est, s.Updates(), 0)
 		return nil

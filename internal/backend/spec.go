@@ -27,6 +27,11 @@ const (
 	// Process partitions the stream across Workers shards and merges by
 	// linearity.
 	KindParallel Kind = "parallel"
+	// KindSharded is the one-pass estimator behind the lock-free hot
+	// path: Workers per-core shards (0 = GOMAXPROCS) partitioned by item
+	// hash, fed through bounded MPSC rings during Process and merged by
+	// linearity on Estimate/Marshal.
+	KindSharded Kind = "sharded"
 	// KindUniversal is the §1.1.1 function-independent sketch answering
 	// post-hoc g-SUM queries (the FuncQuerier capability).
 	KindUniversal Kind = "universal"

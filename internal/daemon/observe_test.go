@@ -171,6 +171,39 @@ func TestWindowMetricsGauges(t *testing.T) {
 	}
 }
 
+// TestHotpathMetricsGauges: a daemon on the sharded kind exposes the
+// ring instrumentation, and a daemon on any other kind does not.
+func TestHotpathMetricsGauges(t *testing.T) {
+	spec := backend.Spec{Kind: backend.KindSharded, G: "x^2", Workers: 2, Options: testOptions(12)}
+	srv, c := streamServer(t, spec)
+	s := testStream(12)
+	if err := srv.IngestBatch(s.Updates()[:100]); err != nil {
+		t.Fatal(err)
+	}
+	sc := scrape(t, c.Base())
+	if v := mustValue(t, sc, "gsumd_hotpath_shards"); v != 2 {
+		t.Fatalf("shards gauge = %v, want 2", v)
+	}
+	if v := mustValue(t, sc, "gsumd_hotpath_ring_depth"); v <= 0 {
+		t.Fatalf("ring depth gauge = %v", v)
+	}
+	if v := mustValue(t, sc, "gsumd_hotpath_ring_occupancy"); v != 0 {
+		t.Fatalf("occupancy gauge = %v outside Process, want 0", v)
+	}
+	for _, name := range []string{"gsumd_hotpath_batches", "gsumd_hotpath_updates",
+		"gsumd_hotpath_producer_stalls", "gsumd_hotpath_consumer_stalls"} {
+		if !sc.Has(name) {
+			t.Fatalf("no %s gauge", name)
+		}
+	}
+
+	plain := backend.Spec{Kind: backend.KindOnePass, G: "x^2", Options: testOptions(12)}
+	_, pc := streamServer(t, plain)
+	if scrape(t, pc.Base()).Has("gsumd_hotpath_shards") {
+		t.Fatal("onepass daemon exposes hotpath gauges")
+	}
+}
+
 // TestHealthzReadyzLifecycle pins the readiness contract: healthz is
 // liveness (always 200), readyz flips 503 -> 200 with SetReady and back
 // to 503 once the drain begins.

@@ -1,0 +1,86 @@
+package hotpath
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// FuzzRingSequencing drives the ring's claim/publish/release sequencing
+// against a model queue. The fuzzer picks the ring depth and an
+// arbitrary interleaving of single enqueues, batched (EnqueueN) claims,
+// and dequeues; the ring must agree with the model on every
+// full/empty decision and on every dequeued value — i.e. the slot
+// sequence arithmetic (including wrap-around past the cursor widths'
+// modular boundary at small depths) never loses, duplicates, or
+// reorders a batch.
+func FuzzRingSequencing(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 0, 1, 0, 1, 1})
+	f.Add(uint8(1), []byte{0, 0, 0, 0, 0, 1, 1, 1, 1, 1})
+	f.Add(uint8(3), []byte{2, 1, 2, 1, 1, 0, 1})
+	f.Add(uint8(2), []byte{3, 1, 1, 1, 3, 1, 0, 2, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, depthSel uint8, ops []byte) {
+		depth := 2 << (depthSel % 4) // 2, 4, 8, 16
+		r := NewRing(depth)
+		var model []int
+		next := 0
+		enqueue := func(v int) []stream.Update { return []stream.Update{{Delta: int64(v)}} }
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // TryEnqueue: must succeed iff the model has room
+				ok := r.TryEnqueue(enqueue(next))
+				if want := len(model) < depth; ok != want {
+					t.Fatalf("TryEnqueue ok=%v with %d/%d occupied", ok, len(model), depth)
+				}
+				if ok {
+					model = append(model, next)
+					next++
+				}
+			case 1: // TryDequeue: must succeed iff the model is non-empty
+				v, ok := r.TryDequeue()
+				if want := len(model) > 0; ok != want {
+					t.Fatalf("TryDequeue ok=%v with %d occupied", ok, len(model))
+				}
+				if ok {
+					if int(v[0].Delta) != model[0] {
+						t.Fatalf("dequeued %d, model head %d", v[0].Delta, model[0])
+					}
+					model = model[1:]
+				}
+			case 2: // blocking Enqueue, only when room is guaranteed
+				if len(model) < depth {
+					r.Enqueue(enqueue(next))
+					model = append(model, next)
+					next++
+				}
+			case 3: // batched claim: a run sized to the remaining room
+				room := depth - len(model)
+				k := room/2 + room%2
+				if k == 0 {
+					continue
+				}
+				run := make([][]stream.Update, k)
+				for i := range run {
+					run[i] = enqueue(next)
+					model = append(model, next)
+					next++
+				}
+				r.EnqueueN(run)
+			}
+			if occ := r.Occupancy(); occ != uint64(len(model)) {
+				t.Fatalf("Occupancy %d, model %d", occ, len(model))
+			}
+		}
+		// Drain: everything still queued must come out in model order.
+		r.Close()
+		for _, want := range model {
+			v, ok := r.Dequeue()
+			if !ok || int(v[0].Delta) != want {
+				t.Fatalf("drain: got (%v, %v), want %d", v, ok, want)
+			}
+		}
+		if _, ok := r.Dequeue(); ok {
+			t.Fatal("drain: ring had more than the model")
+		}
+	})
+}

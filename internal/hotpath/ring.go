@@ -1,0 +1,187 @@
+package hotpath
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// Ring is a bounded, lock-free multi-producer single-consumer queue of
+// update batches, after Vyukov's bounded MPMC design specialized to one
+// consumer. Each slot carries a sequence number that encodes whose turn
+// the slot is: producers claim positions with a fetch-add on the enqueue
+// cursor, wait for their slot's sequence to come around (a full ring is
+// backpressure, not a drop), write the batch, and publish with a release
+// store of seq = pos + 1; the consumer waits for seq == pos + 1, takes
+// the batch, and releases the slot with seq = pos + depth. All handoff
+// is acquire/release through the per-slot atomics — no locks, and no
+// producer ever writes a cursor another producer spins on.
+//
+// The zero value is not usable; see NewRing.
+type Ring struct {
+	mask  uint64
+	slots []ringSlot
+
+	// Producer and consumer cursors live on their own cache lines so
+	// producers hammering enq never invalidate the consumer's line.
+	_   [64]byte
+	enq atomic.Uint64
+	_   [64]byte
+	deq atomic.Uint64 // written by the single consumer only
+	_   [64]byte
+
+	closed atomic.Bool
+
+	// Stall and throughput counters (atomic; safe to read while the ring
+	// is live). A "stall" is one spin-yield iteration, so the counters
+	// measure time wasted waiting, not just how often waits happened.
+	producerStalls atomic.Uint64
+	consumerStalls atomic.Uint64
+	batches        atomic.Uint64 // batches published
+	updates        atomic.Uint64 // updates inside published batches
+}
+
+// ringSlot is one queue cell: the sequence atomic plus the batch slice
+// header, padded to a full cache line so neighboring slots never share
+// one (false sharing between a publishing producer and the consumer).
+type ringSlot struct {
+	seq   atomic.Uint64
+	batch []stream.Update
+	_     [64 - 8 - 24]byte
+}
+
+// NewRing returns a ring with at least the requested number of slots
+// (rounded up to a power of two, minimum 2).
+func NewRing(depth int) *Ring {
+	n := 2
+	for n < depth {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Depth returns the slot count.
+func (r *Ring) Depth() int { return len(r.slots) }
+
+// Occupancy returns the number of claimed-but-unconsumed slots. It is a
+// racy snapshot, meant for metrics.
+func (r *Ring) Occupancy() uint64 {
+	e, d := r.enq.Load(), r.deq.Load()
+	if e < d {
+		return 0
+	}
+	return e - d
+}
+
+// Enqueue publishes one batch, blocking (spin + Gosched, counted as
+// producer stalls) while the ring is full. Ownership of the batch slice
+// transfers to the consumer. Enqueue must not be called after Close.
+func (r *Ring) Enqueue(batch []stream.Update) {
+	pos := r.enq.Add(1) - 1
+	r.publish(pos, batch)
+}
+
+// EnqueueN publishes a run of batches with a single claim: one
+// fetch-add reserves len(batches) consecutive slots, then each slot is
+// published in order. Claiming once amortizes the contended atomic
+// across the run, which is the point of batched claim/publish.
+func (r *Ring) EnqueueN(batches [][]stream.Update) {
+	if len(batches) == 0 {
+		return
+	}
+	pos := r.enq.Add(uint64(len(batches))) - uint64(len(batches))
+	for i, b := range batches {
+		r.publish(pos+uint64(i), b)
+	}
+}
+
+// publish waits for slot ownership at pos and release-stores the batch.
+func (r *Ring) publish(pos uint64, batch []stream.Update) {
+	slot := &r.slots[pos&r.mask]
+	for slot.seq.Load() != pos {
+		r.producerStalls.Add(1)
+		runtime.Gosched()
+	}
+	slot.batch = batch
+	slot.seq.Store(pos + 1)
+	r.batches.Add(1)
+	r.updates.Add(uint64(len(batch)))
+}
+
+// TryEnqueue publishes one batch without blocking; it reports false when
+// the ring is full. Unlike Enqueue it claims with a CAS, so a failed
+// attempt leaves no slot reserved. It may be mixed freely with
+// Enqueue/EnqueueN.
+func (r *Ring) TryEnqueue(batch []stream.Update) bool {
+	for {
+		pos := r.enq.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.batch = batch
+				slot.seq.Store(pos + 1)
+				r.batches.Add(1)
+				r.updates.Add(uint64(len(batch)))
+				return true
+			}
+			// Another producer took pos; retry at the new cursor.
+		case seq < pos:
+			// The consumer has not released this slot: the ring is full.
+			return false
+		default:
+			// seq > pos: the cursor moved under us; reload.
+		}
+	}
+}
+
+// Close marks the ring as finished. After every producer has returned,
+// Close makes Dequeue drain the remaining batches and then report
+// ok == false instead of blocking forever.
+func (r *Ring) Close() { r.closed.Store(true) }
+
+// Dequeue takes the next batch, blocking (spin + Gosched, counted as
+// consumer stalls) while the ring is empty. It returns ok == false once
+// the ring is closed and fully drained. Single consumer only.
+func (r *Ring) Dequeue() (batch []stream.Update, ok bool) {
+	pos := r.deq.Load()
+	slot := &r.slots[pos&r.mask]
+	for {
+		if slot.seq.Load() == pos+1 {
+			break
+		}
+		// Claimed-but-unpublished slots (enq past pos) still get waited
+		// for: closed only ends the stream at a quiesced cursor.
+		if r.closed.Load() && r.enq.Load() == pos {
+			return nil, false
+		}
+		r.consumerStalls.Add(1)
+		runtime.Gosched()
+	}
+	batch = slot.batch
+	slot.batch = nil
+	slot.seq.Store(pos + uint64(len(r.slots)))
+	r.deq.Store(pos + 1)
+	return batch, true
+}
+
+// TryDequeue takes the next batch without blocking; ok is false when no
+// published batch is ready. Single consumer only.
+func (r *Ring) TryDequeue() (batch []stream.Update, ok bool) {
+	pos := r.deq.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos+1 {
+		return nil, false
+	}
+	batch = slot.batch
+	slot.batch = nil
+	slot.seq.Store(pos + uint64(len(r.slots)))
+	r.deq.Store(pos + 1)
+	return batch, true
+}

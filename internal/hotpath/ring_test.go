@@ -1,0 +1,219 @@
+package hotpath
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// tag encodes (producer, sequence) into one update so a drained batch
+// identifies exactly who published it and in what order.
+func tag(producer, seq int) []stream.Update {
+	return []stream.Update{{Item: uint64(producer), Delta: int64(seq)}}
+}
+
+func TestRingDepthRounding(t *testing.T) {
+	for _, tc := range []struct{ want, depth int }{
+		{2, 0}, {2, 1}, {2, 2}, {4, 3}, {64, 64}, {128, 65},
+	} {
+		if got := NewRing(tc.depth).Depth(); got != tc.want {
+			t.Errorf("NewRing(%d).Depth() = %d, want %d", tc.depth, got, tc.want)
+		}
+	}
+}
+
+func TestRingFIFOSingleProducer(t *testing.T) {
+	r := NewRing(4) // much smaller than the batch count: wrap-around is exercised
+	done := make(chan []int)
+	go func() {
+		var got []int
+		for {
+			b, ok := r.Dequeue()
+			if !ok {
+				break
+			}
+			got = append(got, int(b[0].Delta))
+		}
+		done <- got
+	}()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		r.Enqueue(tag(0, i))
+	}
+	r.Close()
+	got := <-done
+	if len(got) != n {
+		t.Fatalf("drained %d batches, want %d", len(got), n)
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("batch %d has seq %d: single-producer FIFO violated", i, seq)
+		}
+	}
+}
+
+// TestRingConcurrentProducers is the MPSC property test: several
+// producers hammer one small ring (so backpressure genuinely engages)
+// and the consumer must see every batch exactly once, with each
+// producer's batches in publication order.
+func TestRingConcurrentProducers(t *testing.T) {
+	const producers, perProducer = 8, 500
+	r := NewRing(8)
+	done := make(chan map[int][]int)
+	go func() {
+		seen := make(map[int][]int)
+		for {
+			b, ok := r.Dequeue()
+			if !ok {
+				break
+			}
+			p := int(b[0].Item)
+			seen[p] = append(seen[p], int(b[0].Delta))
+		}
+		done <- seen
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				r.Enqueue(tag(p, i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	r.Close()
+	seen := <-done
+	for p := 0; p < producers; p++ {
+		got := seen[p]
+		if len(got) != perProducer {
+			t.Fatalf("producer %d: %d batches survived, want %d (lost or duplicated)", p, len(got), perProducer)
+		}
+		for i, seq := range got {
+			if seq != i {
+				t.Fatalf("producer %d: batch %d has seq %d: reordered within producer", p, i, seq)
+			}
+		}
+	}
+	st := r.batches.Load()
+	if want := uint64(producers * perProducer); st != want {
+		t.Fatalf("ring counted %d batches, want %d", st, want)
+	}
+}
+
+// TestRingEnqueueN checks the batched claim: one fetch-add reserves the
+// whole run and the run drains in order.
+func TestRingEnqueueN(t *testing.T) {
+	r := NewRing(16)
+	var run [][]stream.Update
+	for i := 0; i < 10; i++ {
+		run = append(run, tag(0, i))
+	}
+	done := make(chan []int)
+	go func() {
+		var got []int
+		for {
+			b, ok := r.Dequeue()
+			if !ok {
+				break
+			}
+			got = append(got, int(b[0].Delta))
+		}
+		done <- got
+	}()
+	r.EnqueueN(run)
+	r.EnqueueN(nil) // no-op
+	r.Close()
+	got := <-done
+	if len(got) != 10 {
+		t.Fatalf("drained %d, want 10", len(got))
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("EnqueueN batch %d has seq %d", i, seq)
+		}
+	}
+}
+
+func TestRingTryOps(t *testing.T) {
+	r := NewRing(2)
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("TryDequeue on an empty ring reported ok")
+	}
+	if !r.TryEnqueue(tag(0, 0)) || !r.TryEnqueue(tag(0, 1)) {
+		t.Fatal("TryEnqueue failed with free slots")
+	}
+	if r.TryEnqueue(tag(0, 2)) {
+		t.Fatal("TryEnqueue succeeded on a full ring")
+	}
+	if r.Occupancy() != 2 {
+		t.Fatalf("Occupancy = %d, want 2", r.Occupancy())
+	}
+	b, ok := r.TryDequeue()
+	if !ok || b[0].Delta != 0 {
+		t.Fatalf("TryDequeue = (%v, %v), want seq 0", b, ok)
+	}
+	// The freed slot is immediately claimable again (wrap-around).
+	if !r.TryEnqueue(tag(0, 2)) {
+		t.Fatal("TryEnqueue failed after a slot was released")
+	}
+	for want := 1; want <= 2; want++ {
+		if b, ok = r.TryDequeue(); !ok || int(b[0].Delta) != want {
+			t.Fatalf("TryDequeue = (%v, %v), want seq %d", b, ok, want)
+		}
+	}
+}
+
+func TestRingCloseDrainsRemainder(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Enqueue(tag(0, i))
+	}
+	r.Close()
+	for i := 0; i < 5; i++ {
+		b, ok := r.Dequeue()
+		if !ok || int(b[0].Delta) != i {
+			t.Fatalf("Dequeue %d after Close = (%v, %v)", i, b, ok)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("Dequeue reported ok on a closed, drained ring")
+	}
+}
+
+// TestRingBackpressureNotDrops pins the contract: a full ring makes the
+// producer WAIT (stall counter moves) rather than dropping the batch.
+func TestRingBackpressureNotDrops(t *testing.T) {
+	r := NewRing(2)
+	done := make(chan int)
+	go func() {
+		// Hold off draining until the producer has demonstrably stalled:
+		// with 2 slots and 64 batches it must block, not drop.
+		for r.producerStalls.Load() == 0 {
+			runtime.Gosched()
+		}
+		n := 0
+		for {
+			if _, ok := r.Dequeue(); !ok {
+				break
+			}
+			n++
+		}
+		done <- n
+	}()
+	go func() {
+		for i := 0; i < 64; i++ {
+			r.Enqueue(tag(0, i)) // blocks once the 2 slots fill
+		}
+		r.Close()
+	}()
+	if n := <-done; n != 64 {
+		t.Fatalf("consumer saw %d batches, want all 64", n)
+	}
+	if r.producerStalls.Load() == 0 {
+		t.Fatal("producer never stalled pushing 64 batches through a 2-slot ring")
+	}
+}

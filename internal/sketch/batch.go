@@ -126,9 +126,30 @@ func (cs *CountSketch) UpdateBatch(batch []stream.Update) {
 	}
 	ds := cs.agg.ds
 	if cs.topK == nil {
+		// Four items per row step (xhash.HornerStep4): the lanes are
+		// independent hash chains, so the counter state is bit-identical
+		// to the scalar walk — adds into a row commute, and duplicates
+		// were already collapsed.
 		for j := 0; j < cs.rows; j++ {
 			counts := cs.counts[j]
-			for i := range order {
+			i := 0
+			for ; i+4 <= len(order); i += 4 {
+				xq := [4]uint64{xs[i], xs[i+1], xs[i+2], xs[i+3]}
+				h, s := cs.rowBucketSign4(j, &xq)
+				if d := ds[i]; d != 0 {
+					counts[h[0]] += s[0] * d
+				}
+				if d := ds[i+1]; d != 0 {
+					counts[h[1]] += s[1] * d
+				}
+				if d := ds[i+2]; d != 0 {
+					counts[h[2]] += s[2] * d
+				}
+				if d := ds[i+3]; d != 0 {
+					counts[h[3]] += s[3] * d
+				}
+			}
+			for ; i < len(order); i++ {
 				if d := ds[i]; d != 0 {
 					h, s := cs.rowBucketSign(j, xs[i])
 					counts[h] += s * d
@@ -154,7 +175,18 @@ func (cs *CountSketch) UpdateBatch(batch []stream.Update) {
 	hs, ss, ests := cs.agg.hs[:len(order)], cs.agg.ss[:len(order)], cs.agg.ests[:len(order)*cs.rows]
 	for j := 0; j < cs.rows; j++ {
 		counts := cs.counts[j]
-		for i := range order {
+		i := 0
+		for ; i+4 <= len(order); i += 4 {
+			xq := [4]uint64{xs[i], xs[i+1], xs[i+2], xs[i+3]}
+			h, s := cs.rowBucketSign4(j, &xq)
+			for k := 0; k < 4; k++ {
+				hs[i+k], ss[i+k] = h[k], s[k]
+				if d := ds[i+k]; d != 0 {
+					counts[h[k]] += s[k] * d
+				}
+			}
+		}
+		for ; i < len(order); i++ {
 			h, s := cs.rowBucketSign(j, xs[i])
 			hs[i], ss[i] = h, s
 			if d := ds[i]; d != 0 {

@@ -91,6 +91,33 @@ func (cs *CountSketch) rowBucketSign(j int, xp uint64) (uint64, int64) {
 	return h, s
 }
 
+// rowBucketSign4 is the four-lane rowBucketSign: it evaluates row j's
+// bucket indices and signs for four reduced items in one pass, built on
+// xhash.HornerStep4 so the four Horner chains interleave and the row
+// walk runs at multiply throughput instead of latency. Each lane is
+// bit-identical to rowBucketSign on the same item.
+func (cs *CountSketch) rowBucketSign4(j int, xp *[4]uint64) (h [4]uint64, s [4]int64) {
+	c := cs.coef[coefPerRow*j : coefPerRow*j+coefPerRow : coefPerRow*j+coefPerRow]
+	// Bucket hash: c[1]*x + c[0], i.e. Horner from acc = c[1], one step.
+	acc := [4]uint64{c[1], c[1], c[1], c[1]}
+	xhash.HornerStep4(&acc, xp, c[0])
+	b := cs.buckets
+	h[0], h[1], h[2], h[3] = acc[0]%b, acc[1]%b, acc[2]%b, acc[3]%b
+	// Sign hash: degree-3 Horner from acc = c[5] through c[4], c[3], c[2].
+	sg := [4]uint64{c[5], c[5], c[5], c[5]}
+	xhash.HornerStep4(&sg, xp, c[4])
+	xhash.HornerStep4(&sg, xp, c[3])
+	xhash.HornerStep4(&sg, xp, c[2])
+	for k := 0; k < 4; k++ {
+		if sg[k]&1 == 1 {
+			s[k] = 1
+		} else {
+			s[k] = -1
+		}
+	}
+	return h, s
+}
+
 // NewCountSketchTopK returns a CountSketch that additionally tracks the k
 // items with the largest estimated |frequency| among items that appeared in
 // the stream, supporting one-pass heavy hitter candidate extraction.

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/wire"
 )
@@ -25,7 +26,12 @@ import (
 //
 // The tracked-item section carries the top-k candidate ids (when the
 // sketch was built with NewCountSketchTopK); estimates are recomputed on
-// the receiving side, so only identities travel.
+// the receiving side, so only identities travel. The ids are written in
+// ascending order — the tracker's heap layout depends on insertion
+// history, so sorting is what makes the encoding canonical: two sketches
+// holding the same counters and the same candidate SET marshal to
+// identical bytes no matter how they arrived at that state (serial
+// ingest, sharded ingest, or a chain of merges).
 
 const countSketchMagic uint32 = 0x67535543 // "gSUC"
 
@@ -57,7 +63,9 @@ func (cs *CountSketch) MarshalBinary() ([]byte, error) {
 		w.I64s(cs.counts[j])
 	}
 	if cs.topK != nil {
-		w.U64s(cs.topK.items())
+		items := cs.topK.items()
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		w.U64s(items)
 	} else {
 		w.U64s(nil)
 	}

@@ -28,6 +28,13 @@ type Config struct {
 	// Windowed selects the window kind with a tick advanced every
 	// round; false runs the flat one-pass kind.
 	Windowed bool
+	// Kind overrides the flat estimator kind ("" = onepass). The only
+	// other supported value is backend.KindSharded, which runs every
+	// daemon on the lock-free hot path; the serial ground-truth replay
+	// then uses the onepass kind, so the run also proves the cross-kind
+	// contract (sharded daemons == one serial onepass, bit for bit).
+	// Incompatible with Windowed.
+	Kind backend.Kind
 	// Duration is the wall-clock floor: rounds keep going until it has
 	// elapsed (and always at least MinRounds). Default 500ms.
 	Duration time.Duration
@@ -144,9 +151,16 @@ func Run(cfg Config) (*Report, error) {
 		Options: core.Options{N: 1 << 12, M: 1 << 10, Eps: 0.25,
 			Seed: cfg.Seed, Lambda: 1.0 / 16},
 	}
-	if cfg.Windowed {
+	switch {
+	case cfg.Windowed && cfg.Kind != "":
+		return nil, fmt.Errorf("soak: Kind %q is incompatible with Windowed", cfg.Kind)
+	case cfg.Windowed:
 		spec.Kind = backend.KindWindow
 		spec.Window = window.Config{W: 4}
+	case cfg.Kind == backend.KindSharded:
+		spec.Kind = backend.KindSharded
+	case cfg.Kind != "" && cfg.Kind != backend.KindOnePass:
+		return nil, fmt.Errorf("soak: unsupported Kind %q (onepass or sharded)", cfg.Kind)
 	}
 
 	coord, err := startNode("coordinator", spec)
@@ -419,8 +433,16 @@ func Run(cfg Config) (*Report, error) {
 
 	// Ground truth: the same chunks through one serial estimator, in the
 	// same tick grouping, must yield the coordinator's estimate exactly —
-	// linear sketches make distribution invisible, bit for bit.
-	serial, err := backend.Open(spec)
+	// linear sketches make distribution invisible, bit for bit. A sharded
+	// soak deliberately replays through the PLAIN onepass kind: passing
+	// means the hot path is indistinguishable from serial ingest even
+	// across the daemon snapshot/merge protocol.
+	replaySpec := spec
+	if spec.Kind == backend.KindSharded {
+		replaySpec.Kind = backend.KindOnePass
+		replaySpec.Workers = 0
+	}
+	serial, err := backend.Open(replaySpec)
 	if err != nil {
 		return nil, err
 	}

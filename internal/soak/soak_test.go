@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/backend"
 )
 
 // soakDuration resolves the workload duration: the CI short mode keeps
@@ -89,6 +91,16 @@ func TestSoakFlat(t *testing.T) {
 func TestSoakWindowed(t *testing.T) {
 	rep := runSoak(t, Config{Workers: 2, Windowed: true, Seed: 11})
 	writeArtifacts(t, "windowed", rep)
+}
+
+// TestSoakSharded runs the daemons on the lock-free sharded hot path.
+// The serial ground-truth replay inside Run uses the PLAIN onepass kind,
+// so a pass asserts the cross-kind contract end to end: sharded daemons,
+// snapshot/merge over HTTP, and one serial estimator all land on the
+// same bits.
+func TestSoakSharded(t *testing.T) {
+	rep := runSoak(t, Config{Workers: 2, Kind: backend.KindSharded, Seed: 17})
+	writeArtifacts(t, "sharded", rep)
 }
 
 // TestSoakManyWorkers widens the topology past the CI default so the

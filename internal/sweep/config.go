@@ -187,6 +187,9 @@ func (c Config) Normalize() (Config, error) {
 			return Config{}, fmt.Errorf("sweep: window %d must be shorter than the stream's %d ticks",
 				w, c.Stream.Ticks)
 		}
+		if contains(c.Backends, "sharded") {
+			return Config{}, fmt.Errorf("sweep: the sharded backend does not support windowed runs; drop it from backends or the window from the spec")
+		}
 	}
 	probe := c.Spec
 	probe.Options.N = c.Stream.N
@@ -299,7 +302,7 @@ func Smoke() Config {
 		Spec:      backend.Spec{G: "x^2"},
 		Stream:    workload.Config{N: 1 << 16, Items: 512, Length: 20000, Seed: 1},
 		Workloads: []string{"zipf", "adversarial"},
-		Backends:  []string{"serial", "parallel"},
+		Backends:  []string{"serial", "parallel", "sharded"},
 		Eps:       []float64{0.25},
 		Workers:   []int{2},
 		PointK:    8,

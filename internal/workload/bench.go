@@ -21,17 +21,18 @@ import (
 
 // The bench runner behind `gsum bench`: drive one scenario through one
 // ingestion backend, measure wall-clock throughput, and score the
-// estimate against the exact g-SUM. The three backends cover the three
-// deployment shapes of the repository — in-process serial, in-process
-// sharded parallel, and the gsumd worker/coordinator HTTP topology (spun
-// up in-process on loopback listeners, so a single `gsum bench
-// -backend daemon` run exercises the full distributed path end to end).
-// Every estimator — serial, per-shard, or behind a daemon — is resolved
-// through the backend registry from ONE Spec, so the three topologies
-// are provably configured identically (same Spec fingerprint).
+// estimate against the exact g-SUM. The backends cover the deployment
+// shapes of the repository — in-process serial, in-process chunk-sharded
+// parallel, the lock-free ring-fed sharded hot path, and the gsumd
+// worker/coordinator HTTP topology (spun up in-process on loopback
+// listeners, so a single `gsum bench -backend daemon` run exercises the
+// full distributed path end to end). Every estimator — serial,
+// per-shard, or behind a daemon — is resolved through the backend
+// registry from ONE Spec, so the topologies are provably configured
+// identically (same Spec fingerprint).
 
 // Backends lists the ingestion topologies RunBench accepts.
-var Backends = []string{"serial", "parallel", "daemon"}
+var Backends = []string{"serial", "parallel", "sharded", "daemon"}
 
 // BenchSpec configures one bench run.
 type BenchSpec struct {
@@ -44,10 +45,12 @@ type BenchSpec struct {
 	// Opts configures the one-pass estimator. Opts.N is overridden with
 	// Cfg.N so the estimator and stream always agree on the domain.
 	Opts core.Options
-	// Backend is one of Backends ("serial", "parallel", "daemon").
+	// Backend is one of Backends ("serial", "parallel", "sharded",
+	// "daemon").
 	Backend string
-	// Workers is the shard count for the parallel and daemon backends
-	// (< 1 means GOMAXPROCS for parallel, 1 worker daemon for daemon).
+	// Workers is the shard count for the parallel, sharded, and daemon
+	// backends (< 1 means GOMAXPROCS in-process, 1 worker daemon for
+	// daemon).
 	Workers int
 	// PushBatch is the updates-per-request size for the daemon backend
 	// (0 = engine.DefaultBatchSize).
@@ -188,6 +191,21 @@ func RunBench(spec BenchSpec) (BenchResult, error) {
 		}
 		elapsed = time.Since(start)
 		est, space = e.Estimate(), e.SpaceBytes()
+	case "sharded":
+		workers = engine.Workers(spec.Workers)
+		psp := sp
+		psp.Kind = backend.KindSharded
+		psp.Workers = spec.Workers
+		start := time.Now()
+		e, err := backend.Open(psp)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if err := backend.Process(e, s); err != nil {
+			return BenchResult{}, err
+		}
+		elapsed = time.Since(start)
+		est, space = e.Estimate(), e.SpaceBytes()
 	case "daemon":
 		// One worker daemon unless more were requested; GOMAXPROCS is a
 		// shard count, not a daemon count.
@@ -200,7 +218,7 @@ func RunBench(spec BenchSpec) (BenchResult, error) {
 			return BenchResult{}, err
 		}
 	default:
-		return BenchResult{}, fmt.Errorf("workload: unknown backend %q (serial, parallel, daemon)", spec.Backend)
+		return BenchResult{}, fmt.Errorf("workload: unknown backend %q (serial, parallel, sharded, daemon)", spec.Backend)
 	}
 
 	return BenchResult{
@@ -394,6 +412,11 @@ func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 		est, space = shards[0].Estimate(), shards[0].SpaceBytes()
 		stale = shards[0].(backend.Windowed).Stale()
 		elapsed = time.Since(start)
+	case "sharded":
+		// The sharded hot path carries no tick clock through its rings;
+		// windowed runs need the ticked ingest loop, so the combination is
+		// rejected rather than silently ignoring the window.
+		return BenchResult{}, fmt.Errorf("workload: the sharded backend does not support windowed runs (use serial, parallel, or daemon)")
 	case "daemon":
 		if workers = spec.Workers; workers < 1 {
 			workers = 1
@@ -404,7 +427,7 @@ func runWindowedBench(spec BenchSpec) (BenchResult, error) {
 			return BenchResult{}, err
 		}
 	default:
-		return BenchResult{}, fmt.Errorf("workload: unknown backend %q (serial, parallel, daemon)", spec.Backend)
+		return BenchResult{}, fmt.Errorf("workload: unknown backend %q (serial, parallel, sharded, daemon)", spec.Backend)
 	}
 
 	return BenchResult{

@@ -166,15 +166,17 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 }
 
 // TestBenchBackendsAgreeExactly is the end-to-end acceptance check:
-// serial, parallel, and daemon (HTTP worker/coordinator, over both the
-// JSON and the binary stream transport) backends return bit-identical
-// estimates for the same seed, for every workload.
+// serial, parallel, sharded (lock-free ring hot path), and daemon (HTTP
+// worker/coordinator, over both the JSON and the binary stream
+// transport) backends return bit-identical estimates for the same seed,
+// for every workload.
 func TestBenchBackendsAgreeExactly(t *testing.T) {
 	g := gfunc.F2Func()
 	opts := core.Options{M: 1 << 10, Eps: 0.25, Seed: 21, Lambda: 1.0 / 16}
 	cfg := Config{N: 1 << 12, Items: 200, Length: 8000, Seed: 5}
 	combos := []struct{ backend, transport string }{
-		{"serial", ""}, {"parallel", ""}, {"daemon", "json"}, {"daemon", "stream"},
+		{"serial", ""}, {"parallel", ""}, {"sharded", ""},
+		{"daemon", "json"}, {"daemon", "stream"},
 	}
 	for _, gen := range Generators() {
 		gen := gen

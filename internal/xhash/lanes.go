@@ -1,0 +1,76 @@
+package xhash
+
+import "math/bits"
+
+// Multi-lane GF(2^61-1) arithmetic: the same Mersenne fold as MulMod,
+// unrolled over four independent lanes. One scalar MulMod is a chain of
+// dependent operations (widening multiply, fold, two conditional
+// subtractions) whose latency the CPU cannot hide; four independent
+// lanes give the out-of-order core four such chains to interleave, so a
+// row pass that hashes four items per step runs at multiply THROUGHPUT
+// instead of multiply LATENCY. Every lane computes bit-exactly what the
+// scalar function computes — the lane functions are definitionally
+// lane-wise MulMod/AddMod, and the tests hold them to it.
+
+// MulMod4 sets r[i] = (a[i] * b[i]) mod (2^61 - 1) for all four lanes.
+// r may alias a or b.
+func MulMod4(r, a, b *[4]uint64) {
+	h0, l0 := bits.Mul64(a[0], b[0])
+	h1, l1 := bits.Mul64(a[1], b[1])
+	h2, l2 := bits.Mul64(a[2], b[2])
+	h3, l3 := bits.Mul64(a[3], b[3])
+	r0 := (l0 & MersennePrime61) + (l0 >> 61) + ((h0 << 3) & MersennePrime61) + (h0 >> 58)
+	r1 := (l1 & MersennePrime61) + (l1 >> 61) + ((h1 << 3) & MersennePrime61) + (h1 >> 58)
+	r2 := (l2 & MersennePrime61) + (l2 >> 61) + ((h2 << 3) & MersennePrime61) + (h2 >> 58)
+	r3 := (l3 & MersennePrime61) + (l3 >> 61) + ((h3 << 3) & MersennePrime61) + (h3 >> 58)
+	if r0 >= MersennePrime61 {
+		r0 -= MersennePrime61
+	}
+	if r0 >= MersennePrime61 {
+		r0 -= MersennePrime61
+	}
+	if r1 >= MersennePrime61 {
+		r1 -= MersennePrime61
+	}
+	if r1 >= MersennePrime61 {
+		r1 -= MersennePrime61
+	}
+	if r2 >= MersennePrime61 {
+		r2 -= MersennePrime61
+	}
+	if r2 >= MersennePrime61 {
+		r2 -= MersennePrime61
+	}
+	if r3 >= MersennePrime61 {
+		r3 -= MersennePrime61
+	}
+	if r3 >= MersennePrime61 {
+		r3 -= MersennePrime61
+	}
+	r[0], r[1], r[2], r[3] = r0, r1, r2, r3
+}
+
+// HornerStep4 advances four Horner evaluations one step against a
+// SHARED coefficient: acc[i] = (acc[i] * x[i] + c) mod (2^61 - 1).
+// This is the inner step of evaluating one row's hash polynomial at
+// four items simultaneously; the CountSketch row walk is built on it.
+func HornerStep4(acc, x *[4]uint64, c uint64) {
+	MulMod4(acc, acc, x)
+	s0 := acc[0] + c
+	if s0 >= MersennePrime61 {
+		s0 -= MersennePrime61
+	}
+	s1 := acc[1] + c
+	if s1 >= MersennePrime61 {
+		s1 -= MersennePrime61
+	}
+	s2 := acc[2] + c
+	if s2 >= MersennePrime61 {
+		s2 -= MersennePrime61
+	}
+	s3 := acc[3] + c
+	if s3 >= MersennePrime61 {
+		s3 -= MersennePrime61
+	}
+	acc[0], acc[1], acc[2], acc[3] = s0, s1, s2, s3
+}

@@ -89,6 +89,7 @@ const (
 	KindOnePass     = backend.KindOnePass
 	KindTwoPass     = backend.KindTwoPass
 	KindParallel    = backend.KindParallel
+	KindSharded     = backend.KindSharded
 	KindUniversal   = backend.KindUniversal
 	KindWindow      = backend.KindWindow
 	KindCountSketch = backend.KindCountSketch
@@ -125,13 +126,20 @@ func Open(spec Spec) (Estimator, error) { return backend.Open(spec) }
 // Kinds returns the registered estimator kind names, sorted.
 func Kinds() []string { return backend.Kinds() }
 
+// ParseSpec decodes a Spec from its JSON encoding (canonical or not —
+// the shape gsumd serves at /v1/config) and normalizes it. It is how
+// file-based configuration enters the system: `gsumd -config` and
+// `gsum bench -config` both resolve their Spec through this one door.
+func ParseSpec(data []byte) (Spec, error) { return backend.ParseSpec(data) }
+
 // Describe returns the one-line registry description of a kind ("" if
 // unknown). CLI surfaces print this instead of hand-maintained lists.
 func Describe(k Kind) string { return backend.Describe(k) }
 
 // Process drives a whole in-memory stream through est using its richest
-// capability: KindParallel shards it, KindTwoPass replays it for both
-// passes, everything else streams it through the batched path.
+// capability: KindParallel shards it, KindSharded fans it through the
+// lock-free ring hot path, KindTwoPass replays it for both passes,
+// everything else streams it through the batched path.
 func Process(est Estimator, s *Stream) error { return backend.Process(est, s) }
 
 // Merge folds src into dst. Both must come from Open of equal Specs;
